@@ -1,0 +1,20 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each benchmark regenerates one table or figure of the paper at the paper's
+problem sizes (simulated time, performance mode), prints the series the
+chart reports, and asserts the *shape* claims made in the evaluation text.
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the (expensive, deterministic) sweep exactly once."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

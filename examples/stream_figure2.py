@@ -1,0 +1,96 @@
+"""The STREAM benchmark written exactly as the paper's Figure 2.
+
+Four annotated function tasks (copy / scale / add / triad), blocked loops,
+and not a single explicit data transfer: the runtime keeps the blocks on the
+GPUs (write-back caching) and only moves what the dependence clauses imply.
+The example also sweeps the cache policies to show why write-back wins
+(Figure 6's point).
+
+Run:  python examples/stream_figure2.py
+"""
+
+import numpy as np
+
+from repro.api import Program, target, task
+from repro.cuda import streaming_cost
+from repro.hardware import build_multi_gpu_node
+from repro.runtime import RuntimeConfig
+from repro.sim import Environment
+
+N, BSIZE, NTIMES = 1 << 18, 1 << 15, 4
+SCALAR = 3.0
+
+
+def cost2(spec, bound):
+    return streaming_cost(spec, 2 * 8 * bound["n"])
+
+
+def cost3(spec, bound):
+    return streaming_cost(spec, 3 * 8 * bound["n"])
+
+
+#  #pragma omp target device(cuda) copy_deps
+#  #pragma omp task input([N] a) output([N] c)
+@target(device="cuda", copy_deps=True)
+@task(inputs=("a",), outputs=("c",), cost=cost2)
+def copy(a, c, n):
+    c[:] = a
+
+
+@target(device="cuda", copy_deps=True)
+@task(inputs=("c",), outputs=("b",), cost=cost2)
+def scale(b, c, scalar, n):
+    b[:] = scalar * c
+
+
+@target(device="cuda", copy_deps=True)
+@task(inputs=("a", "b"), outputs=("c",), cost=cost3)
+def add(a, b, c, n):
+    c[:] = a + b
+
+
+@target(device="cuda", copy_deps=True)
+@task(inputs=("b", "c"), outputs=("a",), cost=cost3)
+def triad(a, b, c, scalar, n):
+    a[:] = b + scalar * c
+
+
+def stream(prog, a, b, c):
+    """The stream() function of Figure 2, verbatim structure."""
+    for _ in range(NTIMES):
+        for j in range(0, N, BSIZE):
+            copy(a[j:j + BSIZE], c[j:j + BSIZE], BSIZE)
+        for j in range(0, N, BSIZE):
+            scale(b[j:j + BSIZE], c[j:j + BSIZE], SCALAR, BSIZE)
+        for j in range(0, N, BSIZE):
+            add(a[j:j + BSIZE], b[j:j + BSIZE], c[j:j + BSIZE], BSIZE)
+        for j in range(0, N, BSIZE):
+            triad(a[j:j + BSIZE], b[j:j + BSIZE], c[j:j + BSIZE], SCALAR,
+                  BSIZE)
+    yield from prog.taskwait(noflush=True)
+
+
+def run(policy: str) -> float:
+    env = Environment()
+    prog = Program(build_multi_gpu_node(env, num_gpus=2),
+                   RuntimeConfig(cache_policy=policy))
+    a = prog.array("a", N, dtype=np.float64,
+                   init=np.arange(N, dtype=np.float64))
+    b = prog.array("b", N, dtype=np.float64)
+    c = prog.array("c", N, dtype=np.float64)
+    makespan = prog.run(stream(prog, a, b, c))
+    moved = 10 * 8 * N * NTIMES          # bytes the four kernels touch
+    return moved / makespan / 1e9
+
+
+def main():
+    print(f"STREAM, {N} doubles, {NTIMES} iterations, 2 GPUs")
+    print(f"{'cache policy':14s} {'GB/s':>8s}")
+    for policy in ("nocache", "wt", "wb"):
+        print(f"{policy:14s} {run(policy):8.1f}")
+    print("\nwrite-back keeps blocks on the GPUs between kernels — the "
+          "other policies pay PCIe for every write (Figure 6).")
+
+
+if __name__ == "__main__":
+    main()

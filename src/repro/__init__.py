@@ -1,0 +1,44 @@
+"""repro — reproduction of *Productive Programming of GPU Clusters with
+OmpSs* (Bueno et al., IPDPS 2012).
+
+The package implements the OmpSs programming model and the Nanos++ runtime
+for clusters of GPUs over a deterministic discrete-event hardware simulation:
+
+* :mod:`repro.api` — the programming model (``Program``, ``@task``,
+  ``@target``, ``taskwait``, pragma parsing);
+* :mod:`repro.runtime` — the Nanos++ reimplementation (dependences,
+  schedulers, coherence, GPU managers, cluster master/slave images);
+* :mod:`repro.memory` — regions, directory, software caches;
+* :mod:`repro.cuda`, :mod:`repro.gasnet`, :mod:`repro.mpi`,
+  :mod:`repro.hardware`, :mod:`repro.sim` — the simulated substrates;
+* :mod:`repro.apps` — the four evaluation applications in their Serial /
+  CUDA / MPI+CUDA / OmpSs versions;
+* :mod:`repro.bench` — the harness regenerating every evaluation figure and
+  table.
+"""
+
+from .api import (
+    DataHandle,
+    DataView,
+    Program,
+    from_pragmas,
+    parse_pragma,
+    target,
+    task,
+)
+from .runtime import Runtime, RuntimeConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Program",
+    "DataHandle",
+    "DataView",
+    "task",
+    "target",
+    "from_pragmas",
+    "parse_pragma",
+    "Runtime",
+    "RuntimeConfig",
+    "__version__",
+]

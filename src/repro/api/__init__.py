@@ -1,0 +1,35 @@
+"""The OmpSs programming interface (the Mercurium compiler's role).
+
+``Program`` + ``@task`` / ``@target`` decorators + ``taskwait`` are the
+Python rendering of the paper's directive-annotated serial C programs; the
+``pragma`` submodule parses the paper's literal directive syntax.
+"""
+
+from .data import DataHandle, DataView
+from .decorators import TaskFunction, target, task
+from .pragma import (
+    DepExpr,
+    PragmaError,
+    TargetDirective,
+    TaskDirective,
+    TaskwaitDirective,
+    parse_pragma,
+)
+from .program import Program
+from .translate import from_pragmas
+
+__all__ = [
+    "Program",
+    "DataHandle",
+    "DataView",
+    "task",
+    "target",
+    "TaskFunction",
+    "from_pragmas",
+    "parse_pragma",
+    "PragmaError",
+    "DepExpr",
+    "TaskDirective",
+    "TargetDirective",
+    "TaskwaitDirective",
+]

@@ -1,0 +1,223 @@
+"""The ``task`` and ``target`` constructs as Python decorators.
+
+The paper annotates C functions::
+
+    #pragma omp target device(cuda) copy_deps
+    #pragma omp task input([N] a) output([N] c)
+    void copy(double *a, double *c, int N);
+
+which here reads::
+
+    @target(device="cuda", copy_deps=True)
+    @task(inputs=("a",), outputs=("c",), cost=copy_cost)
+    def copy(a, c, n): ...
+
+Calling the decorated function does not execute it — it creates a task whose
+data environment is captured from the arguments (function tasks, *a la*
+Cilk).  Dependence clauses name parameters; the arguments bound to those
+parameters must be :class:`~repro.api.data.DataView` slices, from which the
+runtime builds the dependence regions.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..cuda.kernels import KernelSpec
+from ..runtime.task import Access, Direction, Task
+from .data import DataView
+
+__all__ = ["task", "target", "TaskFunction"]
+
+
+class TaskFunction:
+    """A function annotated with the ``task`` construct."""
+
+    def __init__(self, fn: Callable, inputs: Sequence[str],
+                 outputs: Sequence[str], inouts: Sequence[str],
+                 cost: "Callable | float" = 0.0,
+                 label: Optional[str] = None):
+        self.fn = fn
+        self.label = label or fn.__name__
+        self.signature = inspect.signature(fn)
+        params = list(self.signature.parameters)
+        self.clauses: dict[str, Direction] = {}
+        for names, direction in ((inputs, Direction.IN),
+                                 (outputs, Direction.OUT),
+                                 (inouts, Direction.INOUT)):
+            for name in names:
+                if name not in params:
+                    raise ValueError(
+                        f"dependence clause names unknown parameter "
+                        f"{name!r} of {self.label!r}"
+                    )
+                if name in self.clauses:
+                    raise ValueError(
+                        f"parameter {name!r} of {self.label!r} appears in "
+                        "two dependence clauses"
+                    )
+                self.clauses[name] = direction
+        if not self.clauses:
+            raise ValueError(f"task {self.label!r} has no dependence clauses")
+        self.cost = cost
+        # target-construct attributes (defaults = SMP, copy semantics on).
+        self.device = "smp"
+        self.copy_deps = True
+        self.copy_clauses: dict[str, Direction] = {}
+        self._kernel: Optional[KernelSpec] = None
+        self._kernel_wrapped = False
+
+    # -- target construct wiring ---------------------------------------------
+    def set_target(self, device: str, copy_deps: bool,
+                   copy_in: Sequence[str] = (),
+                   copy_out: Sequence[str] = (),
+                   copy_inout: Sequence[str] = ()) -> None:
+        params = list(self.signature.parameters)
+        self.copy_clauses: dict[str, Direction] = {}
+        for names, direction in ((copy_in, Direction.IN),
+                                 (copy_out, Direction.OUT),
+                                 (copy_inout, Direction.INOUT)):
+            for name in names:
+                if name not in params:
+                    raise ValueError(
+                        f"copy clause names unknown parameter {name!r} of "
+                        f"{self.label!r}"
+                    )
+                self.copy_clauses[name] = direction
+        self.device = device
+        self.copy_deps = copy_deps
+        if device == "cuda":
+            cost = self.cost
+            if isinstance(cost, KernelSpec):
+                # Library kernel (e.g. CUBLAS sgemm): its cost model takes
+                # named scalars and its func is the functional body.
+                self._kernel = cost
+                self._kernel_wrapped = False
+            elif callable(cost):
+                self._kernel = KernelSpec(
+                    name=self.label,
+                    cost=lambda spec, *, bound: cost(spec, bound),
+                    func=self.fn,
+                )
+                self._kernel_wrapped = True
+            else:
+                raise ValueError(
+                    f"cuda task {self.label!r} needs a cost model "
+                    "(a KernelSpec or a callable(gpu_spec, bound_args))"
+                )
+
+    # -- task creation ----------------------------------------------------------
+    def __call__(self, *args, **kwargs) -> Task:
+        bound = self.signature.bind(*args, **kwargs)
+        bound.apply_defaults()
+        accesses = []
+        program = None
+        for name, direction in self.clauses.items():
+            value = bound.arguments[name]
+            if isinstance(value, DataView):
+                accesses.append(Access(value.region, direction))
+                program = value.handle.program
+            elif (isinstance(value, (list, tuple)) and value
+                  and all(isinstance(v, DataView) for v in value)):
+                # A clause over a set of regions (e.g. N-Body reading every
+                # position block): one access per view, same direction.
+                for v in value:
+                    accesses.append(Access(v.region, direction))
+                program = value[0].handle.program
+            else:
+                raise TypeError(
+                    f"argument {name!r} of task {self.label!r} carries a "
+                    f"dependence clause and must be a DataView (or a "
+                    f"non-empty list of them), got {type(value).__name__}"
+                )
+
+        def to_placeholder(value):
+            if isinstance(value, DataView):
+                return value.region
+            if (isinstance(value, (list, tuple)) and value
+                    and all(isinstance(v, DataView) for v in value)):
+                return tuple(v.region for v in value)
+            return value
+
+        copies = []
+        for name, direction in self.copy_clauses.items():
+            value = bound.arguments[name]
+            if not isinstance(value, DataView):
+                raise TypeError(
+                    f"argument {name!r} of task {self.label!r} carries a "
+                    f"copy clause and must be a DataView, got "
+                    f"{type(value).__name__}"
+                )
+            copies.append(Access(value.region, direction))
+            program = program or value.handle.program
+
+        task_args = tuple(to_placeholder(v) for v in bound.arguments.values())
+        scalars = {
+            name: value for name, value in bound.arguments.items()
+            if not isinstance(value, DataView)
+            and not (isinstance(value, (list, tuple)) and value
+                     and all(isinstance(v, DataView) for v in value))
+        }
+        if self.device == "cuda":
+            t = Task(
+                name=self.label, device="cuda", kernel=self._kernel,
+                cost_kwargs=({"bound": scalars} if self._kernel_wrapped
+                             else self._cost_kwargs(scalars)),
+                accesses=tuple(accesses), args=task_args,
+                copy_deps=self.copy_deps, copies=tuple(copies),
+            )
+        else:
+            smp_cost = self.cost
+            if callable(smp_cost) and not isinstance(smp_cost, KernelSpec):
+                bound_scalars = scalars
+                cost_value = lambda cpu_spec: smp_cost(cpu_spec, bound_scalars)
+            else:
+                cost_value = float(smp_cost)
+            t = Task(
+                name=self.label, device="smp", smp_cost=cost_value,
+                func=self.fn, accesses=tuple(accesses), args=task_args,
+                copy_deps=self.copy_deps, copies=tuple(copies),
+            )
+        return program.submit(t)
+
+    def _cost_kwargs(self, scalars: dict) -> dict:
+        """Cost kwargs when an externally registered KernelSpec is used:
+        pass the scalar arguments straight through."""
+        cost_params = set(
+            inspect.signature(self._kernel.cost).parameters) - {"spec"}
+        return {k: v for k, v in scalars.items() if k in cost_params}
+
+    def __repr__(self) -> str:
+        return f"<TaskFunction {self.label!r} device={self.device}>"
+
+
+def task(inputs: Iterable[str] = (), outputs: Iterable[str] = (),
+         inouts: Iterable[str] = (), cost: "Callable | float" = 0.0,
+         label: Optional[str] = None) -> Callable[[Callable], TaskFunction]:
+    """The ``task`` construct: annotate a function as a task factory."""
+
+    def decorate(fn: Callable) -> TaskFunction:
+        return TaskFunction(fn, tuple(inputs), tuple(outputs),
+                            tuple(inouts), cost=cost, label=label)
+
+    return decorate
+
+
+def target(device: str = "smp", copy_deps: bool = True,
+           copy_in: Iterable[str] = (), copy_out: Iterable[str] = (),
+           copy_inout: Iterable[str] = ()
+           ) -> Callable[[TaskFunction], TaskFunction]:
+    """The ``target`` construct: device plus explicit copy clauses."""
+    if device not in ("smp", "cuda"):
+        raise ValueError(f"unsupported target device {device!r}")
+
+    def decorate(tf: TaskFunction) -> TaskFunction:
+        if not isinstance(tf, TaskFunction):
+            raise TypeError("apply @target above @task (it annotates the "
+                            "task construct, paper Section II.A.3)")
+        tf.set_target(device, copy_deps, tuple(copy_in), tuple(copy_out),
+                      tuple(copy_inout))
+        return tf
+
+    return decorate

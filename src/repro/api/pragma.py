@@ -1,0 +1,163 @@
+"""Parser for OmpSs ``#pragma omp`` directives (the Mercurium front-end role).
+
+The compiler's job in the paper is to "recognize the constructs and transform
+them into calls to the Nanos++ runtime library", turning data-flow clauses
+into region expressions.  This module parses the paper's directive syntax —
+exactly the forms appearing in Figures 1 and 2 — into structured clause
+objects that :mod:`repro.api.translate` maps onto the decorator machinery::
+
+    #pragma omp target device(cuda) copy_deps
+    #pragma omp task input([N] a, [N] b) output([N] c)
+
+Dependence expressions support the paper's array-section shorthand
+``[len] ptr`` as well as plain scalars/pointers (``x``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["PragmaError", "DepExpr", "TaskDirective", "TargetDirective",
+           "TaskwaitDirective", "parse_pragma"]
+
+
+class PragmaError(Exception):
+    """Malformed directive text."""
+
+
+@dataclass(frozen=True)
+class DepExpr:
+    """One dependence expression: a name with an optional section length.
+
+    ``[N] a`` parses to ``DepExpr(name="a", length="N")``; a bare ``x`` to
+    ``DepExpr(name="x", length=None)`` (a scalar / whole-object reference).
+    The length is kept symbolic — it is evaluated against the task's actual
+    arguments at submission time, like Mercurium's runtime-evaluated clause
+    expressions.
+    """
+
+    name: str
+    length: Optional[str] = None
+
+
+_DEP = re.compile(r"^\s*((?:\[\s*[^\]]+?\s*\]\s*)*)([A-Za-z_]\w*)\s*$")
+_SECTION = re.compile(r"\[\s*([^\]]+?)\s*\]")
+
+
+def _parse_dep_list(text: str) -> tuple[DepExpr, ...]:
+    deps = []
+    for piece in text.split(","):
+        m = _DEP.match(piece)
+        if not m:
+            raise PragmaError(f"bad dependence expression {piece.strip()!r}")
+        sections, name = m.group(1), m.group(2)
+        dims = _SECTION.findall(sections)
+        # Multi-dimensional sections ([BS][BS] C) flatten to their element
+        # product; the actual region is resolved from the DataView argument.
+        length = "*".join(dims) if dims else None
+        deps.append(DepExpr(name=name, length=length))
+    return tuple(deps)
+
+
+@dataclass(frozen=True)
+class TaskDirective:
+    """``#pragma omp task [input(...)] [output(...)] [inout(...)]``"""
+
+    inputs: tuple[DepExpr, ...] = ()
+    outputs: tuple[DepExpr, ...] = ()
+    inouts: tuple[DepExpr, ...] = ()
+
+
+@dataclass(frozen=True)
+class TargetDirective:
+    """``#pragma omp target [device(...)] [copy_deps] [copy_in/out(...)]``"""
+
+    device: str = "smp"
+    copy_deps: bool = False
+    copy_in: tuple[DepExpr, ...] = ()
+    copy_out: tuple[DepExpr, ...] = ()
+    copy_inout: tuple[DepExpr, ...] = ()
+
+
+@dataclass(frozen=True)
+class TaskwaitDirective:
+    """``#pragma omp taskwait [on(...)] [noflush]``"""
+
+    on: tuple[DepExpr, ...] = ()
+    noflush: bool = False
+
+
+_PRAGMA = re.compile(r"^\s*#\s*pragma\s+omp\s+(\w+)\s*(.*)$")
+_CLAUSE = re.compile(r"([A-Za-z_]\w*)\s*(?:\(((?:[^()]|\([^()]*\))*)\))?")
+
+_DEVICES = {"smp", "cuda", "gpu", "cell", "opencl"}
+#: devices accepted by the parser but mapped onto the two we implement.
+_DEVICE_ALIASES = {"gpu": "cuda", "cell": "smp", "opencl": "cuda"}
+
+
+def _clauses(text: str) -> list[tuple[str, Optional[str]]]:
+    out = []
+    pos = 0
+    while pos < len(text):
+        m = _CLAUSE.search(text, pos)
+        if not m:
+            break
+        out.append((m.group(1), m.group(2)))
+        pos = m.end()
+    return out
+
+
+def parse_pragma(line: str):
+    """Parse one ``#pragma omp ...`` line into a directive object."""
+    m = _PRAGMA.match(line)
+    if not m:
+        raise PragmaError(f"not an omp pragma: {line!r}")
+    construct, rest = m.group(1), m.group(2)
+    clauses = _clauses(rest)
+    if construct == "task":
+        kwargs = {"inputs": (), "outputs": (), "inouts": ()}
+        mapping = {"input": "inputs", "output": "outputs", "inout": "inouts"}
+        for name, arg in clauses:
+            if name not in mapping:
+                raise PragmaError(f"unknown task clause {name!r}")
+            if arg is None:
+                raise PragmaError(f"task clause {name!r} needs arguments")
+            kwargs[mapping[name]] = _parse_dep_list(arg)
+        return TaskDirective(**kwargs)
+    if construct == "target":
+        device = "smp"
+        copy_deps = False
+        copies = {"copy_in": (), "copy_out": (), "copy_inout": ()}
+        for name, arg in clauses:
+            if name == "device":
+                if arg is None:
+                    raise PragmaError("device clause needs an argument")
+                dev = arg.strip()
+                if dev not in _DEVICES:
+                    raise PragmaError(f"unknown device {dev!r}")
+                device = _DEVICE_ALIASES.get(dev, dev)
+            elif name == "copy_deps":
+                copy_deps = True
+            elif name in copies:
+                if arg is None:
+                    raise PragmaError(f"{name} clause needs arguments")
+                copies[name] = _parse_dep_list(arg)
+            else:
+                raise PragmaError(f"unknown target clause {name!r}")
+        return TargetDirective(device=device, copy_deps=copy_deps, **copies)
+    if construct == "taskwait":
+        on: tuple[DepExpr, ...] = ()
+        noflush = False
+        for name, arg in clauses:
+            if name == "on":
+                if arg is None:
+                    raise PragmaError("on clause needs arguments")
+                on = _parse_dep_list(arg)
+            elif name == "noflush":
+                noflush = True
+            else:
+                raise PragmaError(f"unknown taskwait clause {name!r}")
+        return TaskwaitDirective(on=on, noflush=noflush)
+    raise PragmaError(f"unsupported construct {construct!r}")

@@ -1,0 +1,70 @@
+"""Translate parsed pragma directives into task functions.
+
+This closes the Mercurium loop: a function annotated with the paper's literal
+pragma text becomes the same :class:`~repro.api.decorators.TaskFunction` the
+decorators produce.  Example (the STREAM ``scale`` task from Figure 2)::
+
+    @from_pragmas(
+        "#pragma omp target device(cuda) copy_deps",
+        "#pragma omp task input([N] c) output([N] b)",
+        cost=scale_cost,
+    )
+    def scale(b, c, scalar, N): ...
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .decorators import TaskFunction, target, task
+from .pragma import (
+    PragmaError,
+    TargetDirective,
+    TaskDirective,
+    parse_pragma,
+)
+
+__all__ = ["from_pragmas"]
+
+
+def from_pragmas(*lines: str, cost: "Callable | float" = 0.0,
+                 label: Optional[str] = None):
+    """Decorator: build a task function from pragma directive strings."""
+    task_dir: Optional[TaskDirective] = None
+    target_dir: Optional[TargetDirective] = None
+    for line in lines:
+        directive = parse_pragma(line)
+        if isinstance(directive, TaskDirective):
+            if task_dir is not None:
+                raise PragmaError("more than one task directive")
+            task_dir = directive
+        elif isinstance(directive, TargetDirective):
+            if target_dir is not None:
+                raise PragmaError("more than one target directive")
+            target_dir = directive
+        else:
+            raise PragmaError(
+                f"cannot attach {type(directive).__name__} to a function"
+            )
+    if task_dir is None:
+        raise PragmaError("a task directive is required")
+
+    def decorate(fn: Callable) -> TaskFunction:
+        tf = task(
+            inputs=[d.name for d in task_dir.inputs],
+            outputs=[d.name for d in task_dir.outputs],
+            inouts=[d.name for d in task_dir.inouts],
+            cost=cost,
+            label=label,
+        )(fn)
+        if target_dir is not None:
+            tf = target(
+                device=target_dir.device,
+                copy_deps=target_dir.copy_deps,
+                copy_in=[d.name for d in target_dir.copy_in],
+                copy_out=[d.name for d in target_dir.copy_out],
+                copy_inout=[d.name for d in target_dir.copy_inout],
+            )(tf)
+        return tf
+
+    return decorate

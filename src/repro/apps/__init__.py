@@ -1,0 +1,10 @@
+"""The four evaluation applications (paper Section IV.A.2).
+
+Each comes in Serial / CUDA / MPI+CUDA / OmpSs versions — the same set the
+paper compares for performance (Figs. 5-13) and productivity (Table I).
+"""
+
+from . import matmul, nbody, perlin, stream
+from .base import AppResult
+
+__all__ = ["matmul", "stream", "perlin", "nbody", "AppResult"]

@@ -1,0 +1,32 @@
+"""Matrix Multiplication in Serial / CUDA / MPI+CUDA / OmpSs versions."""
+
+from .common import (
+    MatmulSize,
+    PAPER_MATMUL,
+    TEST_MATMUL,
+    build_matrix,
+    gflops,
+    serial_matmul_tiled,
+    tile_start,
+    tiled_to_dense,
+)
+from .cuda_single import run_cuda
+from .mpi_cuda import process_grid, run_mpi_cuda
+from .ompss import run_ompss
+from .serial import run_serial
+
+__all__ = [
+    "MatmulSize",
+    "PAPER_MATMUL",
+    "TEST_MATMUL",
+    "build_matrix",
+    "gflops",
+    "serial_matmul_tiled",
+    "tile_start",
+    "tiled_to_dense",
+    "run_serial",
+    "run_cuda",
+    "run_mpi_cuda",
+    "run_ompss",
+    "process_grid",
+]

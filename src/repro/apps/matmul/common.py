@@ -1,0 +1,107 @@
+"""Shared pieces of the Matrix Multiplication application.
+
+The paper's Matmul multiplies 12288x12288 single-precision matrices stored
+in tiles of 1024x1024 (Figure 1); every version here uses the same
+tile-major layout: matrix element (r, c) of tile (i, j) lives in the flat
+array at ``(i * nt + j) * bs * bs + r * bs + c``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MatmulSize", "tile_start", "serial_matmul_tiled",
+           "gflops", "init_tile_value", "PAPER_MATMUL", "TEST_MATMUL"]
+
+
+@dataclass(frozen=True)
+class MatmulSize:
+    """Problem size: n x n matrix in bs x bs tiles."""
+
+    n: int
+    bs: int
+
+    def __post_init__(self):
+        if self.n % self.bs != 0:
+            raise ValueError(f"matrix size {self.n} not a multiple of tile "
+                             f"size {self.bs}")
+
+    @property
+    def nt(self) -> int:
+        return self.n // self.bs
+
+    @property
+    def elements(self) -> int:
+        return self.n * self.n
+
+    @property
+    def tile_elements(self) -> int:
+        return self.bs * self.bs
+
+    @property
+    def flops(self) -> float:
+        return 2.0 * self.n ** 3
+
+
+#: The paper's evaluation size (Section IV.A.2).
+PAPER_MATMUL = MatmulSize(n=12288, bs=1024)
+#: Small functional-mode size for correctness tests.
+TEST_MATMUL = MatmulSize(n=64, bs=16)
+
+
+def tile_start(size: MatmulSize, i: int, j: int) -> int:
+    """Flat offset of tile (i, j) in the tile-major layout."""
+    return (i * size.nt + j) * size.tile_elements
+
+
+def init_tile_value(which: str, i: int, j: int) -> float:
+    """Deterministic per-tile fill values (so every version initializes the
+    same matrices without sharing state)."""
+    base = {"A": 1.0, "B": 2.0, "C": 0.0}[which]
+    if base == 0.0:
+        return 0.0
+    return base + 0.25 * ((i * 31 + j * 17) % 8)
+
+
+def build_matrix(size: MatmulSize, which: str) -> np.ndarray:
+    """A full matrix in tile-major layout with the standard fill."""
+    out = np.empty(size.elements, dtype=np.float32)
+    for i in range(size.nt):
+        for j in range(size.nt):
+            s = tile_start(size, i, j)
+            out[s:s + size.tile_elements] = init_tile_value(which, i, j)
+    return out
+
+
+def tiled_to_dense(size: MatmulSize, flat: np.ndarray) -> np.ndarray:
+    """Convert tile-major storage to a dense (n, n) array."""
+    dense = np.empty((size.n, size.n), dtype=np.float32)
+    for i in range(size.nt):
+        for j in range(size.nt):
+            s = tile_start(size, i, j)
+            tile = flat[s:s + size.tile_elements].reshape(size.bs, size.bs)
+            dense[i * size.bs:(i + 1) * size.bs,
+                  j * size.bs:(j + 1) * size.bs] = tile
+    return dense
+
+
+def serial_matmul_tiled(size: MatmulSize, a: np.ndarray, b: np.ndarray,
+                        c: np.ndarray) -> None:
+    """Reference tiled multiply: C += A @ B on tile-major flat arrays."""
+    bs, nt, te = size.bs, size.nt, size.tile_elements
+    for i in range(nt):
+        for j in range(nt):
+            cs = tile_start(size, i, j)
+            ct = c[cs:cs + te].reshape(bs, bs)
+            for k in range(nt):
+                at = a[tile_start(size, i, k):
+                       tile_start(size, i, k) + te].reshape(bs, bs)
+                bt = b[tile_start(size, k, j):
+                       tile_start(size, k, j) + te].reshape(bs, bs)
+                ct += at @ bt
+
+
+def gflops(size: MatmulSize, seconds: float) -> float:
+    return size.flops / seconds / 1e9

@@ -1,0 +1,34 @@
+"""Parallel initialization variants for the cluster Matmul (Fig. 9).
+
+These tasks are not part of the Matmul application proper — they are the
+experimental knob of Fig. 9: initializing the matrices sequentially on the
+master (``seq``), with SMP tasks spread across the cluster's CPUs (``smp``),
+or with CUDA tasks on the GPUs (``gpu``), which determines where the data
+lives when the multiplication starts.
+"""
+
+from __future__ import annotations
+
+from ...api import target, task
+
+__all__ = ["init_tile_smp", "init_tile_gpu"]
+
+
+def _fill_cost_smp(cpu_spec, bound):
+    # Memory-bandwidth-bound fill of one bs*bs float32 tile on one core.
+    return 4 * bound["te"] / (cpu_spec.mem_bandwidth / cpu_spec.cores)
+
+
+def _fill_cost_gpu(gpu_spec, bound):
+    return 4 * bound["te"] / gpu_spec.effective_mem_bandwidth
+
+
+@task(outputs=("t",), cost=_fill_cost_smp, label="init_tile_smp")
+def init_tile_smp(t, value, te):
+    t[:] = value
+
+
+@target(device="cuda", copy_deps=True)
+@task(outputs=("t",), cost=_fill_cost_gpu, label="init_tile_gpu")
+def init_tile_gpu(t, value, te):
+    t[:] = value

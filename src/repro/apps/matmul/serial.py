@@ -1,0 +1,20 @@
+"""Serial Matrix Multiplication (the annotation starting point)."""
+
+from __future__ import annotations
+
+from .common import MatmulSize, build_matrix, gflops, serial_matmul_tiled
+from ..base import AppResult
+
+__all__ = ["run_serial"]
+
+
+def run_serial(size: MatmulSize) -> AppResult:
+    a = build_matrix(size, "A")
+    b = build_matrix(size, "B")
+    c = build_matrix(size, "C")
+    serial_matmul_tiled(size, a, b, c)
+    return AppResult(
+        name="matmul", version="serial", makespan=0.0, metric=0.0,
+        metric_unit="GFLOP/s",
+        output={"c": c},
+    )

@@ -1,0 +1,35 @@
+"""N-Body simulation in Serial / CUDA / MPI+CUDA / OmpSs versions."""
+
+from .common import (
+    DT,
+    FLOPS_PER_INTERACTION,
+    NBodySize,
+    PAPER_NBODY,
+    SOFTENING,
+    TEST_NBODY,
+    gflops,
+    initial_state,
+    nbody_step_reference,
+    nbody_update_block,
+)
+from .cuda_single import run_cuda
+from .mpi_cuda import run_mpi_cuda
+from .ompss import run_ompss
+from .serial import run_serial
+
+__all__ = [
+    "NBodySize",
+    "TEST_NBODY",
+    "PAPER_NBODY",
+    "DT",
+    "SOFTENING",
+    "FLOPS_PER_INTERACTION",
+    "initial_state",
+    "nbody_step_reference",
+    "nbody_update_block",
+    "gflops",
+    "run_serial",
+    "run_cuda",
+    "run_mpi_cuda",
+    "run_ompss",
+]

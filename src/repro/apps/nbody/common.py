@@ -1,0 +1,113 @@
+"""Shared pieces of the N-Body simulation.
+
+The paper simulates 10 iterations of a 20000-body system with the NVIDIA
+demo kernel; "after each iteration of the system the data from the previous
+round must be distributed to all GPUs" — the all-to-all pattern that shapes
+Figs. 8 and 13.
+
+State per body: position+mass (4 float32) and velocity (4 float32).  Each
+iteration every block's update task reads *all* position blocks and writes
+its own block of the next position buffer (ping-pong), plus its velocity
+block in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NBodySize", "initial_state", "nbody_step_reference",
+           "nbody_update_block", "gflops", "FLOPS_PER_INTERACTION",
+           "TEST_NBODY", "PAPER_NBODY", "SOFTENING", "DT"]
+
+FLOPS_PER_INTERACTION = 20.0
+SOFTENING = 1e-2
+DT = 1e-3
+
+#: floats per body in each of the two state arrays (x, y, z, m / vx, vy,
+#: vz, pad).
+STRIDE = 4
+
+
+@dataclass(frozen=True)
+class NBodySize:
+    """n bodies split into ``blocks`` update tasks, ``iters`` time steps."""
+
+    n: int
+    blocks: int
+    iters: int = 10
+
+    def __post_init__(self):
+        if self.n % self.blocks != 0:
+            raise ValueError(f"{self.n} bodies not divisible into "
+                             f"{self.blocks} blocks")
+
+    @property
+    def block_bodies(self) -> int:
+        return self.n // self.blocks
+
+    @property
+    def block_elements(self) -> int:
+        return self.block_bodies * STRIDE
+
+    @property
+    def elements(self) -> int:
+        return self.n * STRIDE
+
+    @property
+    def flops(self) -> float:
+        return FLOPS_PER_INTERACTION * self.n * self.n * self.iters
+
+
+TEST_NBODY = NBodySize(n=128, blocks=4, iters=3)
+#: The paper's system (Section IV.A.2): 10 iterations of 20000 bodies.
+PAPER_NBODY = NBodySize(n=20000, blocks=4, iters=10)
+
+
+def initial_state(size: NBodySize) -> tuple[np.ndarray, np.ndarray]:
+    """Deterministic positions (+mass) and velocities, flattened."""
+    rng = np.random.default_rng(42)
+    pos = rng.uniform(-1.0, 1.0, (size.n, STRIDE)).astype(np.float32)
+    pos[:, 3] = rng.uniform(0.5, 1.5, size.n)  # masses
+    vel = np.zeros((size.n, STRIDE), dtype=np.float32)
+    return pos.reshape(-1), vel.reshape(-1)
+
+
+def _accelerations(pos: np.ndarray, my: np.ndarray) -> np.ndarray:
+    """Gravitational acceleration on the ``my`` bodies from all of ``pos``."""
+    r = pos[None, :, :3] - my[:, None, :3]            # (m, n, 3)
+    dist2 = np.sum(r * r, axis=2) + SOFTENING ** 2    # (m, n)
+    inv_d3 = dist2 ** -1.5
+    w = pos[None, :, 3] * inv_d3                      # m_j / d^3
+    return np.sum(r * w[:, :, None], axis=1)          # (m, 3)
+
+
+def nbody_update_block(pos_blocks: list[np.ndarray], start: int,
+                       count: int, vel_block: np.ndarray,
+                       out_block: np.ndarray, dt: float = DT) -> None:
+    """One task body: update bodies [start, start+count) against everyone."""
+    pos = np.concatenate([b.reshape(-1, STRIDE) for b in pos_blocks])
+    my = pos[start:start + count]
+    vel = vel_block.reshape(-1, STRIDE)
+    acc = _accelerations(pos, my)
+    vel[:, :3] += acc * dt
+    out = out_block.reshape(-1, STRIDE)
+    out[:, :3] = my[:, :3] + vel[:, :3] * dt
+    out[:, 3] = my[:, 3]
+
+
+def nbody_step_reference(pos: np.ndarray, vel: np.ndarray,
+                         dt: float = DT) -> np.ndarray:
+    """One whole-system step; returns the next positions (flat)."""
+    p = pos.reshape(-1, STRIDE)
+    v = vel.reshape(-1, STRIDE)
+    acc = _accelerations(p, p)
+    v[:, :3] += acc * dt
+    out = p.copy()
+    out[:, :3] += v[:, :3] * dt
+    return out.reshape(-1)
+
+
+def gflops(size: NBodySize, seconds: float) -> float:
+    return size.flops / seconds / 1e9

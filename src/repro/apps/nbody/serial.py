@@ -1,0 +1,18 @@
+"""Serial N-Body reference."""
+
+from __future__ import annotations
+
+from ..base import AppResult
+from .common import DT, NBodySize, initial_state, nbody_step_reference
+
+__all__ = ["run_serial"]
+
+
+def run_serial(size: NBodySize) -> AppResult:
+    pos, vel = initial_state(size)
+    for _ in range(size.iters):
+        pos = nbody_step_reference(pos, vel, DT)
+    return AppResult(
+        name="nbody", version="serial", makespan=0.0, metric=0.0,
+        metric_unit="GFLOP/s", output={"pos": pos, "vel": vel},
+    )

@@ -1,0 +1,29 @@
+"""Perlin Noise filter in Serial / CUDA / MPI+CUDA / OmpSs versions."""
+
+from .common import (
+    FLOPS_PER_PIXEL,
+    PAPER_PERLIN,
+    PerlinSize,
+    TEST_PERLIN,
+    mpixels_per_s,
+    perlin_block,
+    serial_perlin,
+)
+from .cuda_single import run_cuda
+from .mpi_cuda import run_mpi_cuda
+from .ompss import run_ompss
+from .serial import run_serial
+
+__all__ = [
+    "PerlinSize",
+    "TEST_PERLIN",
+    "PAPER_PERLIN",
+    "FLOPS_PER_PIXEL",
+    "perlin_block",
+    "serial_perlin",
+    "mpixels_per_s",
+    "run_serial",
+    "run_cuda",
+    "run_mpi_cuda",
+    "run_ompss",
+]

@@ -1,0 +1,124 @@
+"""Shared pieces of the Perlin Noise image filter.
+
+The paper filters a 1024x1024 image, comparing a *Flush* variant (the image
+returns to host memory after every step — as when a CPU stage consumes each
+frame) with a *NoFlush* variant (frames stay on the GPU, as when Perlin is
+one filter in an all-GPU pipeline).
+
+The functional body is a real 2D gradient (Perlin) noise, vectorized with
+NumPy, evaluated per row-block; successive steps vary the ``z`` (time)
+offset, so every frame writes every pixel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PerlinSize", "perlin_block", "serial_perlin", "mpixels_per_s",
+           "TEST_PERLIN", "PAPER_PERLIN", "FLOPS_PER_PIXEL"]
+
+#: Arithmetic intensity of the kernel (for the GPU cost model): gradient
+#: hashes, fades and lerps per pixel.
+FLOPS_PER_PIXEL = 220.0
+
+
+@dataclass(frozen=True)
+class PerlinSize:
+    """Image of height x width pixels, tasks of rows_per_task rows,
+    ``steps`` filter applications."""
+
+    height: int
+    width: int
+    rows_per_task: int
+    steps: int = 4
+    #: noise feature size in pixels.
+    scale: float = 64.0
+
+    def __post_init__(self):
+        if self.height % self.rows_per_task != 0:
+            raise ValueError(
+                f"height {self.height} not a multiple of rows_per_task "
+                f"{self.rows_per_task}"
+            )
+
+    @property
+    def blocks(self) -> int:
+        return self.height // self.rows_per_task
+
+    @property
+    def pixels(self) -> int:
+        return self.height * self.width
+
+    @property
+    def block_elements(self) -> int:
+        return self.rows_per_task * self.width
+
+
+TEST_PERLIN = PerlinSize(height=32, width=32, rows_per_task=8, steps=2,
+                         scale=8.0)
+#: The paper's 1024x1024 image (Section IV.A.2).
+PAPER_PERLIN = PerlinSize(height=1024, width=1024, rows_per_task=64,
+                          steps=16)
+
+# Classic Perlin permutation table (Ken Perlin's reference ordering).
+_rng = np.random.default_rng(20120529)  # IPDPS 2012 vintage, deterministic
+_PERM = _rng.permutation(256)
+_PERM = np.concatenate([_PERM, _PERM]).astype(np.int64)
+
+
+def _fade(t: np.ndarray) -> np.ndarray:
+    return t * t * t * (t * (t * 6 - 15) + 10)
+
+
+def _grad(h: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """2D gradient selection from the low 3 bits of the hash."""
+    h = h & 7
+    u = np.where(h < 4, x, y)
+    v = np.where(h < 4, y, x)
+    return (np.where(h & 1, -u, u) + np.where(h & 2, -2.0 * v, 2.0 * v))
+
+
+def perlin_block(row0: int, rows: int, width: int, z: float,
+                 scale: float) -> np.ndarray:
+    """Perlin noise values for image rows [row0, row0+rows), flattened."""
+    ys = (np.arange(row0, row0 + rows, dtype=np.float64) / scale + z)
+    xs = np.arange(width, dtype=np.float64) / scale + 0.5 * z
+    gx, gy = np.meshgrid(xs, ys)
+    x0 = np.floor(gx).astype(np.int64)
+    y0 = np.floor(gy).astype(np.int64)
+    fx = gx - x0
+    fy = gy - y0
+    x0 &= 255
+    y0 &= 255
+    u = _fade(fx)
+    v = _fade(fy)
+    aa = _PERM[_PERM[x0] + y0]
+    ab = _PERM[_PERM[x0] + y0 + 1]
+    ba = _PERM[_PERM[x0 + 1] + y0]
+    bb = _PERM[_PERM[x0 + 1] + y0 + 1]
+    n00 = _grad(aa, fx, fy)
+    n10 = _grad(ba, fx - 1, fy)
+    n01 = _grad(ab, fx, fy - 1)
+    n11 = _grad(bb, fx - 1, fy - 1)
+    nx0 = n00 + u * (n10 - n00)
+    nx1 = n01 + u * (n11 - n01)
+    return (nx0 + v * (nx1 - nx0)).astype(np.float32).reshape(-1)
+
+
+def serial_perlin(size: PerlinSize) -> np.ndarray:
+    """Reference: the image after the final step."""
+    out = np.empty(size.pixels, dtype=np.float32)
+    for step in range(size.steps):
+        z = float(step)
+        for b in range(size.blocks):
+            row0 = b * size.rows_per_task
+            start = row0 * size.width
+            out[start:start + size.block_elements] = perlin_block(
+                row0, size.rows_per_task, size.width, z, size.scale)
+    return out
+
+
+def mpixels_per_s(size: PerlinSize, seconds: float) -> float:
+    return size.pixels * size.steps / seconds / 1e6

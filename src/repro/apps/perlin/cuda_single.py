@@ -1,0 +1,55 @@
+"""Single-GPU CUDA Perlin Noise with explicit transfers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...cuda import KernelSpec, arithmetic_cost
+from ...hardware.cluster import Machine
+from ..base import AppResult, make_contexts
+from .common import FLOPS_PER_PIXEL, PerlinSize, mpixels_per_s, perlin_block
+
+__all__ = ["run_cuda"]
+
+
+def run_cuda(machine: Machine, size: PerlinSize, flush: bool = True,
+             functional: bool = True, verify: bool = False) -> AppResult:
+    env = machine.env
+    ctx = make_contexts(machine)[0]
+    image = (np.empty(size.pixels, dtype=np.float32)
+             if functional else None)
+    image_bytes = 4 * size.pixels
+
+    def body(out, z):
+        out[:] = perlin_block(0, size.height, size.width, z, size.scale)
+
+    kernel = KernelSpec(
+        name="perlin_frame",
+        cost=lambda spec, pixels: arithmetic_cost(
+            spec, FLOPS_PER_PIXEL * pixels),
+        func=body,
+    )
+
+    ctx.malloc(image_bytes)
+    timings = {}
+
+    def main():
+        timings["t0"] = env.now
+        for step in range(size.steps):
+            func_args = (image, float(step)) if functional else ()
+            yield ctx.launch(kernel, func_args=func_args, pixels=size.pixels)
+            if flush:
+                yield ctx.memcpy(image_bytes, "d2h")
+        yield ctx.synchronize()
+        timings["t1"] = env.now
+        if not flush:
+            yield ctx.memcpy(image_bytes, "d2h")
+
+    proc = env.process(main())
+    env.run(until=proc)
+    elapsed = timings["t1"] - timings["t0"]
+    return AppResult(
+        name="perlin", version="cuda", makespan=elapsed,
+        metric=mpixels_per_s(size, elapsed), metric_unit="Mpixels/s",
+        output=({"image": image} if (verify and functional) else None),
+    )

@@ -1,0 +1,69 @@
+"""OmpSs Perlin Noise: Flush vs NoFlush variants (Figs. 7 and 12).
+
+One output-only task per row block per step.  In the *Flush* variant each
+step ends with a flushing ``taskwait`` (the image returns to host memory);
+the *NoFlush* variant uses ``taskwait noflush`` so frames stay on the GPUs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...api import Program, target, task
+from ...cuda.kernels import arithmetic_cost
+from ...hardware.cluster import Machine
+from ...runtime.config import RuntimeConfig
+from ..base import AppResult
+from .common import FLOPS_PER_PIXEL, PerlinSize, mpixels_per_s, perlin_block
+
+__all__ = ["run_ompss"]
+
+
+def _perlin_cost(spec, bound):
+    return arithmetic_cost(spec, FLOPS_PER_PIXEL * bound["rows"] * bound["width"])
+
+
+@target(device="cuda", copy_deps=True)
+@task(outputs=("block",), cost=_perlin_cost, label="perlin_task")
+def perlin_task(block, row0, rows, width, z, scale):
+    block[:] = perlin_block(row0, rows, width, z, scale)
+
+
+def run_ompss(machine: Machine, size: PerlinSize,
+              config: Optional[RuntimeConfig] = None,
+              flush: bool = True, verify: bool = False) -> AppResult:
+    config = config or RuntimeConfig()
+    prog = Program(machine, config)
+    image = prog.array("image", size.pixels)
+    rb, w = size.rows_per_task, size.width
+    be = size.block_elements
+
+    timings = {}
+
+    def main():
+        timings["t0"] = prog.env.now
+        for step in range(size.steps):
+            z = float(step)
+            for b in range(size.blocks):
+                row0 = b * rb
+                start = row0 * w
+                perlin_task(image[start:start + be], row0, rb, w, z,
+                            size.scale)
+            # Flush: the frame must be in host memory after every step.
+            yield from prog.taskwait(noflush=not flush)
+        timings["t1"] = prog.env.now
+        if verify:
+            yield from prog.taskwait()
+
+    prog.run(main())
+    elapsed = timings["t1"] - timings["t0"]
+    output = None
+    if verify and config.functional:
+        output = {"image": np.array(image.np)}
+    return AppResult(
+        name="perlin", version="ompss", makespan=elapsed,
+        metric=mpixels_per_s(size, elapsed), metric_unit="Mpixels/s",
+        stats=prog.stats, output=output,
+    )

@@ -1,0 +1,16 @@
+"""Serial Perlin Noise reference."""
+
+from __future__ import annotations
+
+from ..base import AppResult
+from .common import PerlinSize, serial_perlin
+
+__all__ = ["run_serial"]
+
+
+def run_serial(size: PerlinSize) -> AppResult:
+    image = serial_perlin(size)
+    return AppResult(
+        name="perlin", version="serial", makespan=0.0, metric=0.0,
+        metric_unit="Mpixels/s", output={"image": image},
+    )

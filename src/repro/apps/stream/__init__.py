@@ -1,0 +1,29 @@
+"""STREAM benchmark in Serial / CUDA / MPI+CUDA / OmpSs versions."""
+
+from .common import (
+    SCALAR,
+    StreamSize,
+    TEST_STREAM,
+    bandwidth_gbs,
+    paper_stream_size,
+    serial_stream,
+    stream_bytes,
+)
+from .cuda_single import run_cuda
+from .mpi_cuda import run_mpi_cuda
+from .ompss import run_ompss
+from .serial import run_serial
+
+__all__ = [
+    "StreamSize",
+    "TEST_STREAM",
+    "SCALAR",
+    "bandwidth_gbs",
+    "stream_bytes",
+    "paper_stream_size",
+    "serial_stream",
+    "run_serial",
+    "run_cuda",
+    "run_mpi_cuda",
+    "run_ompss",
+]

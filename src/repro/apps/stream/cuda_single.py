@@ -1,0 +1,78 @@
+"""Single-GPU CUDA STREAM: explicit allocation, transfers and kernels.
+
+Vectors live on the device for the whole run (as the original CUDA STREAM
+does); the host only uploads the initial data and downloads the results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...cuda import KernelSpec, streaming_cost
+from ...hardware.cluster import Machine
+from ..base import AppResult, make_contexts
+from .common import SCALAR, StreamSize, bandwidth_gbs, serial_stream
+
+__all__ = ["run_cuda"]
+
+
+def _kernels():
+    def k(name, accesses, body):
+        return KernelSpec(
+            name=f"stream_{name}",
+            cost=lambda spec, n: streaming_cost(spec, accesses * 8 * n),
+            func=body,
+        )
+
+    return (
+        k("copy", 2, lambda a, c: c.__setitem__(slice(None), a)),
+        k("scale", 2, lambda b, c: b.__setitem__(slice(None), SCALAR * c)),
+        k("add", 3, lambda a, b, c: c.__setitem__(slice(None), a + b)),
+        k("triad", 3, lambda a, b, c: a.__setitem__(slice(None),
+                                                    b + SCALAR * c)),
+    )
+
+
+def run_cuda(machine: Machine, size: StreamSize,
+             functional: bool = True, verify: bool = False) -> AppResult:
+    env = machine.env
+    ctx = make_contexts(machine)[0]
+    n = size.n
+    copy_k, scale_k, add_k, triad_k = _kernels()
+
+    a = np.arange(n, dtype=np.float64) if functional else None
+    b = np.zeros(n, dtype=np.float64) if functional else None
+    c = np.zeros(n, dtype=np.float64) if functional else None
+
+    ctx.malloc(3 * size.vector_bytes)
+    timings = {}
+
+    def main():
+        for _ in range(3):
+            yield ctx.memcpy(size.vector_bytes, "h2d")
+        timings["t0"] = env.now
+        for _ in range(size.ntimes):
+            yield ctx.launch(copy_k, func_args=(a, c) if functional else (),
+                             n=n)
+            yield ctx.launch(scale_k, func_args=(b, c) if functional else (),
+                             n=n)
+            yield ctx.launch(add_k, func_args=(a, b, c) if functional else (),
+                             n=n)
+            yield ctx.launch(triad_k,
+                             func_args=(a, b, c) if functional else (), n=n)
+        yield ctx.synchronize()
+        timings["t1"] = env.now
+        for _ in range(3):
+            yield ctx.memcpy(size.vector_bytes, "d2h")
+
+    proc = env.process(main())
+    env.run(until=proc)
+    elapsed = timings["t1"] - timings["t0"]
+    output = None
+    if verify and functional:
+        output = {"a": a, "b": b, "c": c}
+    return AppResult(
+        name="stream", version="cuda", makespan=elapsed,
+        metric=bandwidth_gbs(size, elapsed), metric_unit="GB/s",
+        output=output,
+    )

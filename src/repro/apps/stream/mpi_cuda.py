@@ -1,0 +1,90 @@
+"""MPI+CUDA STREAM: each rank owns a contiguous chunk, no communication.
+
+Like the paper's version (original MPI STREAM plus handmade CUDA kernels):
+ranks never exchange vector data, so the benchmark scales trivially — the
+point of Fig. 11 is that OmpSs matches this embarrassingly parallel bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...cuda import KernelSpec, streaming_cost
+from ...hardware.cluster import Machine
+from ...mpi import MPIWorld
+from ..base import AppResult, make_contexts
+from .common import SCALAR, StreamSize, bandwidth_gbs
+
+__all__ = ["run_mpi_cuda"]
+
+
+def run_mpi_cuda(machine: Machine, size: StreamSize,
+                 functional: bool = True, verify: bool = False) -> AppResult:
+    env = machine.env
+    world = MPIWorld(env, machine.network) if machine.is_cluster else None
+    contexts = make_contexts(machine)
+    p = machine.num_nodes
+    if size.n % p != 0:
+        raise ValueError(f"vector size {size.n} not divisible by {p} ranks")
+    chunk = size.n // p
+    chunk_bytes = 8 * chunk
+
+    def k(name, accesses, body):
+        return KernelSpec(
+            name=f"stream_{name}",
+            cost=lambda spec, n: streaming_cost(spec, accesses * 8 * n),
+            func=body,
+        )
+
+    copy_k = k("copy", 2, lambda a, c: c.__setitem__(slice(None), a))
+    scale_k = k("scale", 2, lambda b, c: b.__setitem__(slice(None),
+                                                       SCALAR * c))
+    add_k = k("add", 3, lambda a, b, c: c.__setitem__(slice(None), a + b))
+    triad_k = k("triad", 3, lambda a, b, c: a.__setitem__(slice(None),
+                                                          b + SCALAR * c))
+
+    full = {"a": np.arange(size.n, dtype=np.float64),
+            "b": np.zeros(size.n, dtype=np.float64),
+            "c": np.zeros(size.n, dtype=np.float64)} if functional else None
+    ends: dict[int, float] = {}
+    starts: dict[int, float] = {}
+
+    def rank_proc(rank: int):
+        ctx = contexts[rank]
+        sl = slice(rank * chunk, (rank + 1) * chunk)
+        a = full["a"][sl] if functional else None
+        b = full["b"][sl] if functional else None
+        c = full["c"][sl] if functional else None
+        ctx.malloc(3 * chunk_bytes)
+        for _ in range(3):
+            yield ctx.memcpy(chunk_bytes, "h2d")
+        if world is not None:
+            yield from world.comm(rank).Barrier()
+        starts[rank] = env.now
+        for _ in range(size.ntimes):
+            yield ctx.launch(copy_k, func_args=(a, c) if functional else (),
+                             n=chunk)
+            yield ctx.launch(scale_k, func_args=(b, c) if functional else (),
+                             n=chunk)
+            yield ctx.launch(add_k,
+                             func_args=(a, b, c) if functional else (),
+                             n=chunk)
+            yield ctx.launch(triad_k,
+                             func_args=(a, b, c) if functional else (),
+                             n=chunk)
+        yield ctx.synchronize()
+        if world is not None:
+            yield from world.comm(rank).Barrier()
+        ends[rank] = env.now
+        for _ in range(3):
+            yield ctx.memcpy(chunk_bytes, "d2h")
+
+    procs = [env.process(rank_proc(r)) for r in range(p)]
+    env.run(until=env.all_of(procs))
+    elapsed = max(ends.values()) - min(starts.values())
+    output = full if (verify and functional) else None
+    return AppResult(
+        name="stream", version="mpi_cuda", makespan=elapsed,
+        metric=bandwidth_gbs(size, elapsed), metric_unit="GB/s",
+        output=output,
+    )

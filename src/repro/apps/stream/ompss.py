@@ -1,0 +1,98 @@
+"""OmpSs STREAM — a direct rendering of the paper's Figure 2."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...api import Program, target, task
+from ...cuda.kernels import streaming_cost
+from ...hardware.cluster import Machine
+from ...runtime.config import RuntimeConfig
+from ..base import AppResult
+from .common import SCALAR, StreamSize, bandwidth_gbs
+
+__all__ = ["run_ompss"]
+
+
+def _cost(accesses):
+    """Bandwidth-bound kernel cost: ``accesses`` float64 touches/element."""
+    return lambda spec, bound: streaming_cost(spec, accesses * 8 * bound["n"])
+
+
+@target(device="cuda", copy_deps=True)
+@task(outputs=("a", "b", "c"), cost=_cost(3), label="stream_init")
+def init_block(a, b, c, start, n):
+    # STREAM's parallel first touch: one loop initializes all three vectors
+    # of a block, so they are created together (and stay together).
+    a[:] = np.arange(start, start + n, dtype=np.float64)
+    b[:] = 0.0
+    c[:] = 0.0
+
+
+@target(device="cuda", copy_deps=True)
+@task(inputs=("a",), outputs=("c",), cost=_cost(2), label="copy")
+def copy(a, c, n):
+    c[:] = a
+
+
+@target(device="cuda", copy_deps=True)
+@task(inputs=("c",), outputs=("b",), cost=_cost(2), label="scale")
+def scale(b, c, scalar, n):
+    b[:] = scalar * c
+
+
+@target(device="cuda", copy_deps=True)
+@task(inputs=("a", "b"), outputs=("c",), cost=_cost(3), label="add")
+def add(a, b, c, n):
+    c[:] = a + b
+
+
+@target(device="cuda", copy_deps=True)
+@task(inputs=("b", "c"), outputs=("a",), cost=_cost(3), label="triad")
+def triad(a, b, c, scalar, n):
+    a[:] = b + scalar * c
+
+
+def run_ompss(machine: Machine, size: StreamSize,
+              config: Optional[RuntimeConfig] = None,
+              verify: bool = False) -> AppResult:
+    config = config or RuntimeConfig()
+    prog = Program(machine, config)
+    n, bs = size.n, size.bsize
+    a, b, c = (prog.array(name, n, dtype=np.float64) for name in "abc")
+    timings = {}
+
+    def main():
+        # Parallel first touch (untimed, as in the original benchmark):
+        # blocks are created where they will be used.
+        for j in range(0, n, bs):
+            init_block(a[j:j + bs], b[j:j + bs], c[j:j + bs], j, bs)
+        yield from prog.taskwait(noflush=True)
+        timings["t0"] = prog.env.now
+        for _ in range(size.ntimes):
+            for j in range(0, n, bs):
+                copy(a[j:j + bs], c[j:j + bs], bs)
+            for j in range(0, n, bs):
+                scale(b[j:j + bs], c[j:j + bs], SCALAR, bs)
+            for j in range(0, n, bs):
+                add(a[j:j + bs], b[j:j + bs], c[j:j + bs], bs)
+            for j in range(0, n, bs):
+                triad(a[j:j + bs], b[j:j + bs], c[j:j + bs], SCALAR, bs)
+        yield from prog.taskwait(noflush=True)
+        timings["t1"] = prog.env.now
+        if verify:
+            yield from prog.taskwait()
+
+    prog.run(main())
+    elapsed = timings["t1"] - timings["t0"]
+    output = None
+    if verify and config.functional:
+        output = {"a": np.array(a.np), "b": np.array(b.np),
+                  "c": np.array(c.np)}
+    return AppResult(
+        name="stream", version="ompss", makespan=elapsed,
+        metric=bandwidth_gbs(size, elapsed), metric_unit="GB/s",
+        stats=prog.stats, output=output,
+    )

@@ -1,0 +1,21 @@
+"""Serial STREAM reference."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import AppResult
+from .common import StreamSize, serial_stream
+
+__all__ = ["run_serial"]
+
+
+def run_serial(size: StreamSize) -> AppResult:
+    a = np.arange(size.n, dtype=np.float64)
+    b = np.zeros(size.n, dtype=np.float64)
+    c = np.zeros(size.n, dtype=np.float64)
+    serial_stream(size, a, b, c)
+    return AppResult(
+        name="stream", version="serial", makespan=0.0, metric=0.0,
+        metric_unit="GB/s", output={"a": a, "b": b, "c": c},
+    )

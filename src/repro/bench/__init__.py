@@ -1,0 +1,30 @@
+"""Benchmark harness: regenerates every table and figure of the evaluation."""
+
+from .figures import (
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+)
+from .harness import CLUSTER_BEST, FigureResult, fresh_cluster, fresh_multi_gpu
+from .loc import APP_VERSION_FILES, count_useful_lines, table1_rows
+from .report import render_series, render_table
+
+__all__ = [
+    "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+    "fig13",
+    "FigureResult",
+    "fresh_cluster",
+    "fresh_multi_gpu",
+    "CLUSTER_BEST",
+    "count_useful_lines",
+    "table1_rows",
+    "APP_VERSION_FILES",
+    "render_table",
+    "render_series",
+]

@@ -1,0 +1,67 @@
+"""Command-line figure regeneration: ``python -m repro.bench [targets...]``.
+
+Targets: ``fig5`` ... ``fig13``, ``table1``, or ``all``.  Each prints the
+same series/table the benchmark suite asserts against (EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import figures
+from .loc import table1_rows
+from .report import render_table
+
+FIGURES = {f"fig{i}": getattr(figures, f"fig{i}") for i in range(5, 14)}
+
+
+def print_table1() -> None:
+    rows = []
+    for row in table1_rows():
+        rows.append([
+            row["app"], row["serial"],
+            f"{row['cuda']} ({row['cuda_pct']:+.0f}%)",
+            f"{row['mpi_cuda']} ({row['mpi_cuda_pct']:+.0f}%)",
+            f"{row['ompss']} ({row['ompss_pct']:+.0f}%)",
+        ])
+    print(render_table(
+        "Table I: useful lines of code",
+        ["app", "serial", "cuda", "mpi+cuda", "ompss"], rows,
+        note="increments relative to the serial version",
+    ))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation figures/tables.",
+    )
+    parser.add_argument(
+        "targets", nargs="*", default=["all"],
+        help=f"any of: {', '.join(FIGURES)}, table1, all",
+    )
+    args = parser.parse_args(argv)
+
+    targets = args.targets or ["all"]
+    if "all" in targets:
+        targets = list(FIGURES) + ["table1"]
+
+    for name in targets:
+        if name == "table1":
+            print_table1()
+            print()
+            continue
+        fn = FIGURES.get(name)
+        if fn is None:
+            parser.error(f"unknown target {name!r}")
+        start = time.time()
+        result = fn()
+        print(result.render())
+        print(f"[regenerated in {time.time() - start:.1f}s wall]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

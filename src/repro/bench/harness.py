@@ -1,0 +1,61 @@
+"""Common machinery for the figure-regeneration benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..hardware.cluster import Machine, build_gpu_cluster, build_multi_gpu_node
+from ..runtime.config import RuntimeConfig
+from ..sim import Environment
+from .report import render_series
+
+__all__ = ["FigureResult", "fresh_multi_gpu", "fresh_cluster", "PERF",
+           "CLUSTER_BEST"]
+
+#: Performance-mode base configuration (benchmarks never move real data).
+PERF = RuntimeConfig(functional=False)
+
+#: "For the GPU cluster evaluation, we have used the best parameters for the
+#: cache and GPUs" (Section IV.B.2): write-back + affinity + GPU-level
+#: overlap and prefetch.
+CLUSTER_BEST = dict(functional=False, cache_policy="wb",
+                    scheduler="affinity", overlap=True, prefetch=True)
+
+
+@dataclass
+class FigureResult:
+    """One regenerated figure: labelled series over an x axis."""
+
+    figure: str
+    title: str
+    x_label: str
+    xs: Sequence[Any]
+    unit: str
+    series: dict[str, list[float]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, name: str, values: list[float]) -> None:
+        self.series[name] = values
+
+    def render(self) -> str:
+        text = render_series(f"{self.figure}: {self.title}", self.x_label,
+                             self.xs, self.series, unit=self.unit)
+        if self.notes:
+            text += "\n" + "\n".join(f"note: {n}" for n in self.notes)
+        return text
+
+    def value(self, series: str, x: Any) -> float:
+        return self.series[series][list(self.xs).index(x)]
+
+
+def fresh_multi_gpu(num_gpus: int) -> Machine:
+    return build_multi_gpu_node(Environment(), num_gpus=num_gpus)
+
+
+def fresh_cluster(num_nodes: int) -> Machine:
+    if num_nodes == 1:
+        # A 1-node "cluster" run uses the cluster node hardware without the
+        # fabric (matching the paper's single-node cluster data points).
+        return build_gpu_cluster(Environment(), num_nodes=1)
+    return build_gpu_cluster(Environment(), num_nodes=num_nodes)

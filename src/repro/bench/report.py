@@ -1,0 +1,47 @@
+"""ASCII rendering of benchmark tables and series."""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+__all__ = ["render_table", "render_series"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(title: str, columns: Sequence[str],
+                 rows: Sequence[Sequence[Any]],
+                 note: Optional[str] = None) -> str:
+    """Render rows as a fixed-width table with a title banner."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(str(col)), *(len(r[i]) for r in cells) if cells else (0,))
+              for i, col in enumerate(columns)]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [f"== {title} ==",
+             " | ".join(str(c).ljust(w) for c, w in zip(columns, widths)),
+             sep]
+    for row in cells:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+    if note:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def render_series(title: str, x_label: str, xs: Sequence[Any],
+                  series: dict[str, Sequence[float]],
+                  unit: str = "") -> str:
+    """Render one line per series, columns per x value (figure-style)."""
+    columns = [x_label] + [str(x) for x in xs]
+    rows = [[name] + list(values) for name, values in series.items()]
+    note = f"values in {unit}" if unit else None
+    return render_table(title, columns, rows, note=note)

@@ -1,0 +1,34 @@
+"""Simulated CUDA layer: contexts, streams, kernels, CUBLAS.
+
+Substitutes NVIDIA CUDA 3.2 + CUBLAS (see DESIGN.md section 2): timing comes
+from calibrated cost models over the simulated GPU engines; functional-mode
+kernels execute real NumPy math for correctness testing.
+"""
+
+from .api import CudaContext, CudaError
+from .cublas import SGEMM, sgemm_func
+from .event import CudaEvent
+from .kernels import (
+    KernelRegistry,
+    KernelSpec,
+    arithmetic_cost,
+    gemm_cost,
+    nbody_cost,
+    streaming_cost,
+)
+from .stream import Stream
+
+__all__ = [
+    "CudaContext",
+    "CudaError",
+    "CudaEvent",
+    "Stream",
+    "KernelRegistry",
+    "KernelSpec",
+    "gemm_cost",
+    "streaming_cost",
+    "arithmetic_cost",
+    "nbody_cost",
+    "SGEMM",
+    "sgemm_func",
+]

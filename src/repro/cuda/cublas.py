@@ -1,0 +1,31 @@
+"""CUBLAS stand-in: the sgemm kernel used by the Matmul application.
+
+The paper's Matmul calls ``cublasSgemm`` per tile pair (Figure 1).  Here
+``SGEMM`` is a registered kernel whose cost model is the canonical
+2*m*n*k flops over the device's sustained sgemm throughput, and whose
+functional body performs the same multiply-accumulate with NumPy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .kernels import KernelSpec, gemm_cost
+
+__all__ = ["SGEMM", "sgemm_func"]
+
+
+def sgemm_func(a: np.ndarray, b: np.ndarray, c: np.ndarray,
+               m: int, n: int, k: int) -> None:
+    """C += A @ B on flat tile buffers stored row-major."""
+    am = a.reshape(m, k)
+    bm = b.reshape(k, n)
+    cm = c.reshape(m, n)
+    cm += am @ bm
+
+
+SGEMM = KernelSpec(
+    name="cublas_sgemm",
+    cost=lambda spec, m, n, k: gemm_cost(spec, m, n, k),
+    func=sgemm_func,
+)

@@ -1,0 +1,64 @@
+"""CUDA stream semantics over simulated GPU engines.
+
+Operations enqueued on one stream execute strictly in order; operations on
+different streams may overlap if they use different engines (compute vs DMA).
+The *null stream* serializes with everything — modelled by routing all work
+through a single stream when overlap is disabled, which reproduces the
+paper's observation that without streams "CUDA tends to serialize [transfers]
+after the kernel execution".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim import Environment, Event
+
+__all__ = ["Stream"]
+
+
+class Stream:
+    """An in-order queue of GPU operations."""
+
+    _next_id = 0
+
+    def __init__(self, env: Environment, name: str = ""):
+        self.env = env
+        Stream._next_id += 1
+        self.sid = Stream._next_id
+        self.name = name or f"stream{self.sid}"
+        self._tail: Optional[Event] = None
+        self.ops_enqueued = 0
+
+    def enqueue(self, operation: Callable[[], "object"]) -> Event:
+        """Append ``operation`` (a generator factory) to the stream.
+
+        Returns the completion event of the enqueued operation.  The
+        operation starts only after every previously enqueued operation on
+        this stream has completed (in-order execution).
+        """
+        prev_tail = self._tail
+        self.ops_enqueued += 1
+
+        def runner():
+            if prev_tail is not None and not prev_tail.processed:
+                yield prev_tail
+            result = yield self.env.process(operation())
+            return result
+
+        proc = self.env.process(runner())
+        self._tail = proc
+        return proc
+
+    def synchronize(self) -> Event:
+        """Event that fires when all currently enqueued work has finished."""
+        done = Event(self.env)
+        if self._tail is None or self._tail.processed:
+            done.succeed()
+        else:
+            self._tail.callbacks.append(lambda _ev: done.succeed())
+        return done
+
+    @property
+    def idle(self) -> bool:
+        return self._tail is None or self._tail.processed

@@ -1,0 +1,5 @@
+"""GASNet-like active message conduit over the simulated fabric."""
+
+from .am import AMLayer, Endpoint, SHORT_SIZE
+
+__all__ = ["AMLayer", "Endpoint", "SHORT_SIZE"]

@@ -1,0 +1,97 @@
+"""GASNet-style active messages (paper Section III.D.1).
+
+"All low level communications for control information and data transfers are
+implemented using active messages" — a message names a *handler* registered
+on the destination image; delivery runs the handler there.  Three sizes
+mirror GASNet's API:
+
+* **short** — control only (a few header bytes);
+* **medium** — small bounded payload delivered to a scratch buffer;
+* **long** — bulk payload delivered into a destination memory region.
+
+Wire time comes from the shared :class:`~repro.hardware.network.Network`, so
+AM traffic and bulk data contend for the same NIC ports.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..hardware.network import Network
+from ..sim import Environment, Event
+
+__all__ = ["AMLayer", "Endpoint", "SHORT_SIZE"]
+
+#: Wire size charged for a short (control) active message.
+SHORT_SIZE = 64
+
+
+class Endpoint:
+    """One node's attachment to the AM layer: its handler table."""
+
+    def __init__(self, layer: "AMLayer", node_index: int):
+        self.layer = layer
+        self.node_index = node_index
+        self._handlers: dict[str, Callable] = {}
+        self.received = 0
+
+    def register(self, name: str, handler: Callable) -> None:
+        """Register ``handler(src, *args)``; may be a generator (process)."""
+        if name in self._handlers:
+            raise ValueError(f"handler {name!r} already registered on "
+                             f"node {self.node_index}")
+        self._handlers[name] = handler
+
+    def handler(self, name: str) -> Callable:
+        try:
+            return self._handlers[name]
+        except KeyError:
+            raise KeyError(
+                f"no handler {name!r} on node {self.node_index}"
+            ) from None
+
+
+class AMLayer:
+    """The conduit: endpoints plus request delivery over the fabric."""
+
+    def __init__(self, env: Environment, network: Network):
+        self.env = env
+        self.network = network
+        self.endpoints = [Endpoint(self, node.index)
+                          for node in network.nodes]
+        self.short_sent = 0
+        self.long_sent = 0
+        self.bytes_sent = 0
+
+    def endpoint(self, node_index: int) -> Endpoint:
+        return self.endpoints[node_index]
+
+    def request(self, src: int, dst: int, handler: str, *args: Any,
+                payload_bytes: int = 0, priority: int = 0) -> Event:
+        """Send an AM from node ``src`` to ``dst``; returns an event that
+        fires when the remote handler has *completed* (request/reply style).
+
+        ``payload_bytes`` > 0 makes it a long message carrying bulk data.
+        """
+        nbytes = payload_bytes if payload_bytes > 0 else SHORT_SIZE
+        if payload_bytes > 0:
+            self.long_sent += 1
+        else:
+            self.short_sent += 1
+        self.bytes_sent += nbytes
+
+        def deliver():
+            yield self.env.process(self.network.transfer(
+                self.network.nodes[src], self.network.nodes[dst], nbytes,
+                priority=priority,
+            ))
+            # Handler dispatch overhead on the receiving image.
+            yield self.env.timeout(self.network.nic.am_overhead)
+            fn = self.endpoints[dst].handler(handler)
+            self.endpoints[dst].received += 1
+            result = fn(src, *args)
+            if hasattr(result, "send"):  # generator handler: run as process
+                result = yield self.env.process(result)
+            return result
+
+        return self.env.process(deliver())

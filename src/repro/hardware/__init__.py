@@ -1,0 +1,56 @@
+"""Simulated hardware substrate: GPUs, nodes, links, interconnect.
+
+Substitutes the paper's physical testbeds (4x Tesla S2050 node; GTX 480 +
+QDR InfiniBand cluster) with calibrated discrete-event models.  See DESIGN.md
+section 2 for the substitution rationale.
+"""
+
+from .cluster import Machine, build_gpu_cluster, build_multi_gpu_node
+from .gpu import GPUDevice
+from .link import Link
+from .network import Network
+from .node import Node
+from .specs import (
+    CLUSTER_NODE,
+    GB,
+    GTX_480,
+    KB,
+    MB,
+    MULTI_GPU_NODE,
+    QDR_INFINIBAND,
+    TESLA_S2050,
+    XEON_E5440,
+    XEON_E5620,
+    ClusterSpec,
+    CPUSpec,
+    GPUSpec,
+    NICSpec,
+    NodeSpec,
+    gpu_cluster_spec,
+)
+
+__all__ = [
+    "Machine",
+    "build_gpu_cluster",
+    "build_multi_gpu_node",
+    "GPUDevice",
+    "Link",
+    "Network",
+    "Node",
+    "GPUSpec",
+    "CPUSpec",
+    "NICSpec",
+    "NodeSpec",
+    "ClusterSpec",
+    "TESLA_S2050",
+    "GTX_480",
+    "XEON_E5440",
+    "XEON_E5620",
+    "QDR_INFINIBAND",
+    "MULTI_GPU_NODE",
+    "CLUSTER_NODE",
+    "gpu_cluster_spec",
+    "GB",
+    "MB",
+    "KB",
+]

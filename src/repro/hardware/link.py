@@ -1,0 +1,54 @@
+"""Point-to-point transfer media (PCIe lanes, NIC ports, memory buses).
+
+A :class:`Link` serializes transfers in one direction: each transfer holds the
+link for ``latency + bytes / bandwidth`` seconds.  Contention (e.g. every
+slave pulling data through the master's NIC) emerges from queuing on the
+underlying :class:`~repro.sim.Resource`.
+"""
+
+from __future__ import annotations
+
+from ..sim import Environment, Resource
+
+__all__ = ["Link"]
+
+
+class Link:
+    """A unidirectional channel with bandwidth, latency and optional
+    multi-engine concurrency (``lanes > 1``)."""
+
+    def __init__(self, env: Environment, bandwidth: float, latency: float,
+                 name: str = "", lanes: int = 1):
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency}")
+        self.env = env
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.name = name
+        self._lanes = Resource(env, capacity=lanes, name=name)
+        self.bytes_moved = 0
+        self.transfer_count = 0
+
+    def occupancy(self, nbytes: int) -> float:
+        """Time the link is held for an ``nbytes`` transfer."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        return self.latency + nbytes / self.bandwidth
+
+    def transfer(self, nbytes: int, priority: int = 0):
+        """Process generator: move ``nbytes`` across the link."""
+        with self._lanes.request(priority=priority) as req:
+            yield req
+            yield self.env.timeout(self.occupancy(nbytes))
+        self.bytes_moved += nbytes
+        self.transfer_count += 1
+
+    @property
+    def busy(self) -> bool:
+        return self._lanes.count > 0
+
+    @property
+    def queue_len(self) -> int:
+        return self._lanes.queue_len

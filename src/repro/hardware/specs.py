@@ -1,0 +1,203 @@
+"""Hardware specifications for the paper's two evaluation machines.
+
+The paper (Section IV.A) evaluates on:
+
+* a **multi-GPU node**: 2x Intel Xeon E5440 (4 cores each) with 4 Tesla
+  S2050 GPUs (2.62 GB each), 15.66 GB host memory, 148 GB/s peak memory
+  bandwidth;
+* a **GPU cluster**: nodes with 2x Intel Xeon E5620 (4 cores each), one
+  GTX 480 (1.5 GB, 1.35 TFLOPS SP peak, 177.4 GB/s), 25 GB host memory,
+  QDR InfiniBand with a quoted peak of 8 Gbit/s, GASNet ibv conduit.
+
+Sustained-throughput factors (sgemm efficiency, effective PCIe bandwidth,
+effective IB bandwidth) are calibration constants for the cost models, chosen
+from contemporary measurements of the same hardware generation.  Absolute
+numbers need not match the paper; shapes must (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "GPUSpec",
+    "CPUSpec",
+    "NICSpec",
+    "NodeSpec",
+    "ClusterSpec",
+    "TESLA_S2050",
+    "GTX_480",
+    "XEON_E5440",
+    "XEON_E5620",
+    "QDR_INFINIBAND",
+    "MULTI_GPU_NODE",
+    "CLUSTER_NODE",
+    "gpu_cluster_spec",
+    "GB",
+    "MB",
+    "KB",
+]
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Performance envelope of one GPU device."""
+
+    name: str
+    peak_sp_gflops: float          # peak single-precision throughput
+    sgemm_efficiency: float        # sustained CUBLAS sgemm fraction of peak
+    mem_capacity: int              # device memory, bytes
+    mem_bandwidth: float           # device memory bandwidth, bytes/s
+    mem_efficiency: float          # sustained fraction of peak mem bandwidth
+    pcie_pinned_bw: float          # host<->device bandwidth, pinned, bytes/s
+    pcie_pageable_bw: float        # host<->device bandwidth, pageable, bytes/s
+    pcie_latency: float            # per-transfer setup latency, seconds
+    copy_engines: int              # concurrent DMA engines (Fermi Tesla: 2)
+    kernel_launch_overhead: float  # seconds per kernel launch
+
+    @property
+    def sgemm_gflops(self) -> float:
+        return self.peak_sp_gflops * self.sgemm_efficiency
+
+    @property
+    def effective_mem_bandwidth(self) -> float:
+        return self.mem_bandwidth * self.mem_efficiency
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """One multicore host CPU complex (all sockets of a node together)."""
+
+    name: str
+    cores: int
+    core_gflops: float             # per-core sustained SP throughput
+    mem_bandwidth: float           # host memory bandwidth, bytes/s
+
+
+@dataclass(frozen=True)
+class NICSpec:
+    """Network interface / fabric characteristics."""
+
+    name: str
+    bandwidth: float               # effective point-to-point, bytes/s
+    latency: float                 # one-way message latency, seconds
+    am_overhead: float             # active-message handler dispatch cost, s
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One machine: CPUs, host memory and attached GPUs."""
+
+    name: str
+    cpu: CPUSpec
+    gpus: tuple[GPUSpec, ...]
+    host_mem_capacity: int
+    pinned_pool_capacity: int      # pre-allocated page-locked staging pool
+    #: GPUs sharing one PCIe host link (the Tesla S2050 enclosure attaches
+    #: two GPUs per host interface card).
+    gpus_per_pcie_link: int = 1
+
+    def with_gpus(self, count: int) -> "NodeSpec":
+        """Same node with the first ``count`` GPUs only."""
+        if not 1 <= count <= len(self.gpus):
+            raise ValueError(f"node has {len(self.gpus)} GPUs, asked for {count}")
+        return replace(self, gpus=self.gpus[:count])
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of nodes over one fabric."""
+
+    name: str
+    node: NodeSpec
+    num_nodes: int
+    nic: NICSpec
+
+    def __post_init__(self):
+        if self.num_nodes < 1:
+            raise ValueError("cluster needs at least one node")
+
+
+# ---------------------------------------------------------------------------
+# Catalog (calibrated for the paper's testbeds)
+# ---------------------------------------------------------------------------
+
+TESLA_S2050 = GPUSpec(
+    name="Tesla S2050",
+    peak_sp_gflops=1030.0,
+    sgemm_efficiency=0.60,          # CUBLAS 3.2 on Fermi Tesla: ~600 GFLOP/s
+    mem_capacity=int(2.62 * GB),
+    mem_bandwidth=144e9,
+    mem_efficiency=0.75,
+    pcie_pinned_bw=5.7e9,           # PCIe 2.0 x16, pinned
+    pcie_pageable_bw=3.3e9,         # pageable staging path
+    pcie_latency=12e-6,
+    copy_engines=2,
+    kernel_launch_overhead=8e-6,
+)
+
+GTX_480 = GPUSpec(
+    name="GTX 480",
+    peak_sp_gflops=1345.0,
+    sgemm_efficiency=0.58,          # CUBLAS 3.2 sgemm on GF100: ~780 GFLOP/s
+    mem_capacity=int(1.5 * GB),
+    mem_bandwidth=177.4e9,
+    mem_efficiency=0.75,
+    pcie_pinned_bw=5.7e9,
+    pcie_pageable_bw=3.3e9,
+    pcie_latency=12e-6,
+    copy_engines=1,                 # GeForce Fermi has a single copy engine
+    kernel_launch_overhead=8e-6,
+)
+
+XEON_E5440 = CPUSpec(
+    name="2x Xeon E5440",
+    cores=8,
+    core_gflops=9.0,
+    mem_bandwidth=12e9,
+)
+
+XEON_E5620 = CPUSpec(
+    name="2x Xeon E5620",
+    cores=8,
+    core_gflops=10.0,
+    mem_bandwidth=18e9,
+)
+
+QDR_INFINIBAND = NICSpec(
+    name="QDR InfiniBand (GASNet ibv conduit)",
+    bandwidth=1.0e9,                # paper quotes an 8 Gbit/s peak
+    latency=4e-6,
+    am_overhead=2e-6,
+)
+
+MULTI_GPU_NODE = NodeSpec(
+    name="multi-GPU node (4x Tesla S2050)",
+    cpu=XEON_E5440,
+    gpus=(TESLA_S2050,) * 4,
+    host_mem_capacity=int(15.66 * GB),
+    pinned_pool_capacity=2 * GB,
+    gpus_per_pcie_link=2,
+)
+
+CLUSTER_NODE = NodeSpec(
+    name="cluster node (1x GTX 480)",
+    cpu=XEON_E5620,
+    gpus=(GTX_480,),
+    host_mem_capacity=25 * GB,
+    pinned_pool_capacity=2 * GB,
+)
+
+
+def gpu_cluster_spec(num_nodes: int) -> ClusterSpec:
+    """The paper's DAS-4-style GPU cluster with ``num_nodes`` nodes."""
+    return ClusterSpec(
+        name=f"GPU cluster ({num_nodes} nodes)",
+        node=CLUSTER_NODE,
+        num_nodes=num_nodes,
+        nic=QDR_INFINIBAND,
+    )

@@ -1,0 +1,40 @@
+"""Memory subsystem: regions, address spaces, directory, caches, pools.
+
+Implements the coherence substrate of Nanos++ (paper Section III.C.3): a
+directory tracking the physical location and version of every region, plus a
+software cache per separate address space with no-cache / write-through /
+write-back policies.
+"""
+
+from .allocator import BytePool, PoolLease
+from .cache import CacheCapacityError, CacheEntry, CachePolicy, SoftwareCache
+from .directory import Directory, DirectoryEntry
+from .region import (
+    DataObject,
+    PartialOverlapError,
+    Region,
+    RegionKey,
+    check_supported_overlap,
+    relation,
+)
+from .space import AddressSpace, DeviceSpace, HostSpace
+
+__all__ = [
+    "DataObject",
+    "Region",
+    "RegionKey",
+    "relation",
+    "check_supported_overlap",
+    "PartialOverlapError",
+    "AddressSpace",
+    "HostSpace",
+    "DeviceSpace",
+    "Directory",
+    "DirectoryEntry",
+    "CachePolicy",
+    "CacheEntry",
+    "SoftwareCache",
+    "CacheCapacityError",
+    "BytePool",
+    "PoolLease",
+]

@@ -1,0 +1,190 @@
+"""Per-device software caches (paper Section III.C.3).
+
+Each device with a separate address space has a software *cache* that tracks
+which regions are resident, so redundant transfers are skipped.  Caches work
+in three modes, matching the evaluation's sweep:
+
+* ``nocache`` — data is moved in before and out after every task; nothing is
+  kept resident;
+* ``wt`` (write-through) — reads are cached, but every write is immediately
+  propagated to host memory;
+* ``wb`` (write-back, the default) — writes stay on the device marked dirty
+  and are written back as late as possible (on eviction or on a flush).
+
+The cache is a state machine only: it decides hits, misses, and LRU victims.
+The coherence layer performs the actual (simulated-time) transfers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .region import Region, RegionKey
+from .space import AddressSpace
+
+__all__ = ["CachePolicy", "CacheEntry", "SoftwareCache", "CacheCapacityError"]
+
+
+class CachePolicy(str, Enum):
+    NO_CACHE = "nocache"
+    WRITE_THROUGH = "wt"
+    WRITE_BACK = "wb"
+
+    @classmethod
+    def parse(cls, value: "str | CachePolicy") -> "CachePolicy":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            names = ", ".join(p.value for p in cls)
+            raise ValueError(
+                f"unknown cache policy {value!r}; expected one of {names}"
+            ) from None
+
+
+class CacheCapacityError(Exception):
+    """A task's working set does not fit in the device memory."""
+
+
+_use_clock = itertools.count()
+
+
+@dataclass
+class CacheEntry:
+    region: Region
+    dirty: bool = False
+    pin_count: int = 0
+    last_use: int = field(default_factory=lambda: next(_use_clock))
+
+    @property
+    def nbytes(self) -> int:
+        return self.region.nbytes
+
+    @property
+    def evictable(self) -> bool:
+        return self.pin_count == 0
+
+
+class SoftwareCache:
+    """Residency tracking + LRU replacement for one device address space."""
+
+    def __init__(self, space: AddressSpace, capacity: int,
+                 policy: "CachePolicy | str" = CachePolicy.WRITE_BACK):
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.space = space
+        self.capacity = capacity
+        self.policy = CachePolicy.parse(policy)
+        self._entries: dict[RegionKey, CacheEntry] = {}
+        self.bytes_used = 0
+        # statistics
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    # -- queries ---------------------------------------------------------
+    def has(self, region: Region) -> bool:
+        return region.key in self._entries
+
+    def get(self, region: Region) -> CacheEntry:
+        return self._entries[region.key]
+
+    def entry_or_none(self, region: Region) -> "CacheEntry | None":
+        return self._entries.get(region.key)
+
+    def dirty_entries(self) -> list[CacheEntry]:
+        return [e for e in self._entries.values() if e.dirty]
+
+    def resident_regions(self) -> list[Region]:
+        return [e.region for e in self._entries.values()]
+
+    @property
+    def bytes_free(self) -> int:
+        return self.capacity - self.bytes_used
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- access path ------------------------------------------------------
+    def lookup(self, region: Region) -> bool:
+        """Record an access; True on hit (entry refreshed), False on miss."""
+        ent = self._entries.get(region.key)
+        if ent is None:
+            self.misses += 1
+            return False
+        ent.last_use = next(_use_clock)
+        self.hits += 1
+        return True
+
+    def choose_victims(self, nbytes_needed: int) -> list[CacheEntry]:
+        """LRU-order unpinned entries to evict so ``nbytes_needed`` fits.
+
+        Raises :class:`CacheCapacityError` when even evicting everything
+        evictable cannot make room (working set exceeds device memory).
+        """
+        if nbytes_needed <= self.bytes_free:
+            return []
+        victims: list[CacheEntry] = []
+        freed = 0
+        need = nbytes_needed - self.bytes_free
+        for ent in sorted(self._entries.values(), key=lambda e: e.last_use):
+            if not ent.evictable:
+                continue
+            victims.append(ent)
+            freed += ent.nbytes
+            if freed >= need:
+                return victims
+        raise CacheCapacityError(
+            f"cannot fit {nbytes_needed} bytes in {self.space.name}: "
+            f"{self.bytes_free} free, {freed} evictable"
+        )
+
+    def insert(self, region: Region, dirty: bool = False) -> CacheEntry:
+        """Add a resident entry.  Space must already have been made."""
+        if region.key in self._entries:
+            ent = self._entries[region.key]
+            ent.last_use = next(_use_clock)
+            ent.dirty = ent.dirty or dirty
+            return ent
+        if region.nbytes > self.bytes_free:
+            raise CacheCapacityError(
+                f"insert of {region!r} ({region.nbytes}B) exceeds free space "
+                f"({self.bytes_free}B) in {self.space.name}; evict first"
+            )
+        ent = CacheEntry(region=region, dirty=dirty)
+        self._entries[region.key] = ent
+        self.bytes_used += region.nbytes
+        return ent
+
+    def remove(self, region: Region) -> None:
+        ent = self._entries.pop(region.key, None)
+        if ent is not None:
+            if ent.pin_count:
+                self._entries[region.key] = ent
+                raise RuntimeError(f"cannot remove pinned entry {region!r}")
+            self.bytes_used -= ent.nbytes
+            self.evictions += 1
+
+    # -- pinning (entries in use by a running task) -----------------------
+    def pin(self, region: Region) -> None:
+        self._entries[region.key].pin_count += 1
+
+    def unpin(self, region: Region) -> None:
+        ent = self._entries[region.key]
+        if ent.pin_count <= 0:
+            raise RuntimeError(f"unpin without pin on {region!r}")
+        ent.pin_count -= 1
+
+    # -- dirty tracking ----------------------------------------------------
+    def mark_dirty(self, region: Region) -> None:
+        self._entries[region.key].dirty = True
+
+    def mark_clean(self, region: Region) -> None:
+        ent = self._entries.get(region.key)
+        if ent is not None and ent.dirty:
+            ent.dirty = False
+            self.writebacks += 1

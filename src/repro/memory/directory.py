@@ -1,0 +1,115 @@
+"""The directory: who holds the current version of each region.
+
+The paper (Section III.C.3) keeps "a hierarchical directory [that] keeps
+track of the physical location of data and of the most current version".
+Here the directory stores, per region, a monotonically increasing version
+and the set of address spaces holding that version.  Node-level queries
+(``nodes_with``) provide the hierarchical cluster view: from the master's
+perspective a whole remote node is a single device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .region import (
+    PartialOverlapError,
+    Region,
+    RegionKey,
+    relation,
+)
+from .space import AddressSpace
+
+__all__ = ["Directory", "DirectoryEntry"]
+
+
+@dataclass
+class DirectoryEntry:
+    region: Region
+    version: int = 0
+    holders: set[AddressSpace] = field(default_factory=set)
+
+
+class Directory:
+    """Location/version tracking for every region touched by any task."""
+
+    def __init__(self, home: AddressSpace):
+        #: Where data lives when nothing else holds it (master host memory).
+        self.home = home
+        self._entries: dict[RegionKey, DirectoryEntry] = {}
+        #: Per object id, the distinct region shapes seen (for overlap checks).
+        self._shapes: dict[int, list[Region]] = {}
+
+    # -- bookkeeping -----------------------------------------------------
+    def entry(self, region: Region) -> DirectoryEntry:
+        ent = self._entries.get(region.key)
+        if ent is None:
+            self._check_shape(region)
+            ent = DirectoryEntry(region=region, version=0,
+                                 holders={self.home})
+            self._entries[region.key] = ent
+        return ent
+
+    def _check_shape(self, region: Region) -> None:
+        seen = self._shapes.setdefault(region.obj.oid, [])
+        for other in seen:
+            if relation(region, other) == "partial":
+                raise PartialOverlapError(
+                    f"region {region!r} partially overlaps previously used "
+                    f"{other!r}; unsupported (paper Section II.A.3)"
+                )
+        seen.append(region)
+
+    # -- queries -----------------------------------------------------------
+    def version(self, region: Region) -> int:
+        return self.entry(region).version
+
+    def holders(self, region: Region) -> frozenset[AddressSpace]:
+        return frozenset(self.entry(region).holders)
+
+    def is_current(self, region: Region, space: AddressSpace) -> bool:
+        return space in self.entry(region).holders
+
+    def nodes_with(self, region: Region) -> frozenset[int]:
+        """Node-level (hierarchical) view: nodes holding the latest version."""
+        return frozenset(s.node_index for s in self.entry(region).holders)
+
+    def host_is_current(self, region: Region) -> bool:
+        return any(s.kind == "host" and s.node_index == self.home.node_index
+                   for s in self.entry(region).holders)
+
+    # -- transitions ---------------------------------------------------------
+    def record_copy(self, region: Region, space: AddressSpace) -> None:
+        """``space`` received the current version of ``region``."""
+        self.entry(region).holders.add(space)
+
+    def record_write(self, region: Region, space: AddressSpace) -> None:
+        """``space`` produced a new version; all other copies are stale."""
+        ent = self.entry(region)
+        ent.version += 1
+        ent.holders = {space}
+
+    def record_drop(self, region: Region, space: AddressSpace) -> None:
+        """``space`` discarded its copy (eviction or invalidation).
+
+        Dropping the last holder is illegal — the coherence layer must write
+        data back before evicting the only current copy.
+        """
+        ent = self.entry(region)
+        if space in ent.holders:
+            if len(ent.holders) == 1:
+                raise RuntimeError(
+                    f"dropping the only current copy of {region!r} from "
+                    f"{space!r} would lose data"
+                )
+            ent.holders.remove(space)
+
+    def all_regions(self) -> list[Region]:
+        return [e.region for e in self._entries.values()]
+
+    def regions_held_by(self, space: AddressSpace) -> list[Region]:
+        return [e.region for e in self._entries.values()
+                if space in e.holders]
+
+    def __len__(self) -> int:
+        return len(self._entries)

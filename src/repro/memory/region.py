@@ -1,0 +1,129 @@
+"""Data objects and regions — the units of dependences and coherence.
+
+A :class:`DataObject` is one user allocation (a matrix, a vector) registered
+with the runtime.  A :class:`Region` is a contiguous element range of one
+object; dependence clauses and copy clauses name regions.
+
+Following the paper (Section II.A.3), regions referenced by different tasks
+must either *match exactly* or be *disjoint*: the implementation "currently
+does not support" partial overlap, and neither do we — we detect it and raise
+:class:`PartialOverlapError` instead of computing wrong dependences silently.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "DataObject",
+    "Region",
+    "RegionKey",
+    "PartialOverlapError",
+    "relation",
+    "check_supported_overlap",
+]
+
+_object_ids = itertools.count()
+
+
+class PartialOverlapError(Exception):
+    """Two regions overlap without matching — unsupported by the model."""
+
+
+@dataclass(frozen=True)
+class DataObject:
+    """One registered allocation, identified by a stable object id."""
+
+    name: str
+    num_elements: int
+    dtype: np.dtype = field(default_factory=lambda: np.dtype(np.float32))
+    oid: int = field(default_factory=lambda: next(_object_ids))
+
+    def __post_init__(self):
+        if self.num_elements <= 0:
+            raise ValueError(f"object {self.name!r} needs a positive size")
+        object.__setattr__(self, "dtype", np.dtype(self.dtype))
+
+    @property
+    def nbytes(self) -> int:
+        return self.num_elements * self.dtype.itemsize
+
+    @property
+    def whole(self) -> "Region":
+        return Region(self, 0, self.num_elements)
+
+    def region(self, start: int, length: int) -> "Region":
+        return Region(self, start, length)
+
+    def __repr__(self) -> str:
+        return f"<DataObject #{self.oid} {self.name!r} {self.num_elements}x{self.dtype}>"
+
+
+#: Hashable identity of a region: (object id, start element, length).
+RegionKey = tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous element range ``[start, start+length)`` of one object."""
+
+    obj: DataObject
+    start: int
+    length: int
+
+    def __post_init__(self):
+        if self.length <= 0:
+            raise ValueError("region length must be positive")
+        if self.start < 0 or self.start + self.length > self.obj.num_elements:
+            raise ValueError(
+                f"region [{self.start}, {self.start + self.length}) out of "
+                f"bounds for {self.obj!r}"
+            )
+
+    @property
+    def key(self) -> RegionKey:
+        return (self.obj.oid, self.start, self.length)
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+    @property
+    def nbytes(self) -> int:
+        return self.length * self.obj.dtype.itemsize
+
+    def same_object(self, other: "Region") -> bool:
+        return self.obj.oid == other.obj.oid
+
+    def __repr__(self) -> str:
+        return (f"<Region {self.obj.name}[{self.start}:{self.end}] "
+                f"{self.nbytes}B>")
+
+
+def relation(a: Region, b: Region) -> str:
+    """Classify two regions: ``"equal"``, ``"disjoint"`` or ``"partial"``."""
+    if not a.same_object(b):
+        return "disjoint"
+    if a.start == b.start and a.length == b.length:
+        return "equal"
+    if a.end <= b.start or b.end <= a.start:
+        return "disjoint"
+    return "partial"
+
+
+def check_supported_overlap(a: Region, b: Region,
+                            context: Optional[str] = None) -> str:
+    """Like :func:`relation` but raises on unsupported partial overlap."""
+    rel = relation(a, b)
+    if rel == "partial":
+        where = f" ({context})" if context else ""
+        raise PartialOverlapError(
+            f"regions {a!r} and {b!r} partially overlap{where}; the OmpSs "
+            "implementation reproduced here requires exact match or "
+            "disjointness (paper Section II.A.3)"
+        )
+    return rel

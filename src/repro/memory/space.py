@@ -1,0 +1,162 @@
+"""Address spaces: the physical memories data can live in.
+
+In *functional mode* every space holds real NumPy buffers, so the coherence
+protocol is checked end-to-end: if the runtime fetches from a stale location
+or forgets a writeback, application results come out numerically wrong and
+tests catch it.  In *performance mode* buffers are not materialized — only
+the directory/cache state machines and transfer timings run, which lets the
+benchmark harness use paper-scale problem sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .region import DataObject, Region, RegionKey
+
+__all__ = ["AddressSpace", "HostSpace", "DeviceSpace"]
+
+
+class AddressSpace:
+    """Base: one physical memory with an identity used by the directory."""
+
+    kind = "abstract"
+
+    def __init__(self, name: str, node_index: int, functional: bool):
+        self.name = name
+        self.node_index = node_index
+        self.functional = functional
+
+    # -- functional-mode data plane ------------------------------------
+    def read(self, region: Region) -> np.ndarray:
+        raise NotImplementedError
+
+    def write(self, region: Region, data: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def drop(self, region: Region) -> None:
+        """Forget any local copy of ``region`` (eviction/invalidation)."""
+
+    def holds_buffer(self, region: Region) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class HostSpace(AddressSpace):
+    """Host memory of one node.
+
+    The master node's host space is *canonical*: user objects are registered
+    there and stored as full arrays (the serial program's memory).  Slave
+    hosts hold per-region copies like devices do.
+    """
+
+    kind = "host"
+
+    def __init__(self, name: str, node_index: int, functional: bool,
+                 canonical: bool = False):
+        super().__init__(name, node_index, functional)
+        self.canonical = canonical
+        self._objects: dict[int, np.ndarray] = {}
+        self._copies: dict[RegionKey, np.ndarray] = {}
+
+    def register_object(self, obj: DataObject,
+                        initial: Optional[np.ndarray] = None) -> None:
+        """Attach storage for a user object (canonical spaces only)."""
+        if not self.canonical:
+            raise RuntimeError(f"{self!r} is not a canonical space")
+        if not self.functional:
+            return
+        if initial is not None:
+            arr = np.ascontiguousarray(initial, dtype=obj.dtype).reshape(-1)
+            if arr.size != obj.num_elements:
+                raise ValueError(
+                    f"initial data has {arr.size} elements, object "
+                    f"{obj.name!r} expects {obj.num_elements}"
+                )
+        else:
+            arr = np.zeros(obj.num_elements, dtype=obj.dtype)
+        self._objects[obj.oid] = arr
+
+    def object_array(self, obj: DataObject) -> np.ndarray:
+        """The canonical full array of a registered object."""
+        return self._objects[obj.oid]
+
+    def read(self, region: Region) -> np.ndarray:
+        if not self.functional:
+            raise RuntimeError("read() is only valid in functional mode")
+        if self.canonical:
+            arr = self._objects[region.obj.oid]
+            return arr[region.start:region.end]
+        return self._copies[region.key]
+
+    def write(self, region: Region, data: np.ndarray) -> None:
+        if not self.functional:
+            return
+        if self.canonical:
+            arr = self._objects[region.obj.oid]
+            arr[region.start:region.end] = data.reshape(-1)
+        else:
+            self._copies[region.key] = np.array(data, dtype=region.obj.dtype
+                                                ).reshape(-1).copy()
+
+    def writable(self, region: Region) -> np.ndarray:
+        """A buffer a task can write in place (allocated on demand)."""
+        if not self.functional:
+            raise RuntimeError("writable() is only valid in functional mode")
+        if self.canonical:
+            return self.read(region)
+        if region.key not in self._copies:
+            self._copies[region.key] = np.zeros(region.length,
+                                                dtype=region.obj.dtype)
+        return self._copies[region.key]
+
+    def drop(self, region: Region) -> None:
+        if self.canonical:
+            return  # canonical storage is never dropped
+        self._copies.pop(region.key, None)
+
+    def holds_buffer(self, region: Region) -> bool:
+        if self.canonical:
+            return region.obj.oid in self._objects
+        return region.key in self._copies
+
+
+class DeviceSpace(AddressSpace):
+    """A separate device memory (one GPU): per-region buffer copies."""
+
+    kind = "gpu"
+
+    def __init__(self, name: str, node_index: int, device_index: int,
+                 functional: bool):
+        super().__init__(name, node_index, functional)
+        self.device_index = device_index
+        self._copies: dict[RegionKey, np.ndarray] = {}
+
+    def read(self, region: Region) -> np.ndarray:
+        if not self.functional:
+            raise RuntimeError("read() is only valid in functional mode")
+        return self._copies[region.key]
+
+    def write(self, region: Region, data: np.ndarray) -> None:
+        if not self.functional:
+            return
+        self._copies[region.key] = np.array(data, dtype=region.obj.dtype
+                                            ).reshape(-1).copy()
+
+    def writable(self, region: Region) -> np.ndarray:
+        if not self.functional:
+            raise RuntimeError("writable() is only valid in functional mode")
+        if region.key not in self._copies:
+            self._copies[region.key] = np.zeros(region.length,
+                                                dtype=region.obj.dtype)
+        return self._copies[region.key]
+
+    def drop(self, region: Region) -> None:
+        self._copies.pop(region.key, None)
+
+    def holds_buffer(self, region: Region) -> bool:
+        return region.key in self._copies

@@ -1,0 +1,5 @@
+"""Simulated MPI library for the MPI+CUDA baseline applications."""
+
+from .api import Communicator, MPIWorld
+
+__all__ = ["Communicator", "MPIWorld"]

@@ -1,0 +1,5 @@
+"""Cluster architecture of Nanos++: master/slave images over active messages."""
+
+from .master import CommThread, NodeProxy
+
+__all__ = ["CommThread", "NodeProxy"]

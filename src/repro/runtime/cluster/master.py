@@ -1,0 +1,127 @@
+"""Master-side cluster machinery (paper Section III.D.1).
+
+When running on a cluster the first runtime image is the *master*; remote
+nodes run *slave* images.  Tasks scheduled to a remote node are served by a
+single **communication thread** that polls the task pool of each node in a
+round-robin fashion.  For every dispatched task the master first gathers the
+task's data at the target node (directly from the owner slave when
+slave-to-slave transfers are enabled, through the master otherwise), then
+sends a control active message to start remote execution; the slave answers
+with a completion message.
+
+The **presend** mechanism lets the communication thread keep up to
+``1 + presend`` tasks outstanding per node, so the data movement for queued
+tasks overlaps with the computation of earlier ones.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..task import Task, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime import Image, Runtime
+
+__all__ = ["NodeProxy", "CommThread"]
+
+
+class NodeProxy:
+    """The master scheduler's stand-in for one remote node.
+
+    It is registered as a worker: the affinity scheduler scores it by the
+    bytes already resident anywhere on its node (the hierarchical view), and
+    round-robin polling by the communication thread pulls tasks placed on it.
+    """
+
+    kind = "node"
+
+    def __init__(self, rt: "Runtime", node_index: int):
+        self.rt = rt
+        self.node_index = node_index
+        self.space = rt.host_space(node_index)
+        self.cache = None
+        self.outstanding = 0
+        self.tasks_dispatched = 0
+
+    def accepts(self, task: Task) -> bool:
+        # A remote node has CPUs and a GPU: it can host either device kind.
+        # Decomposition children are local to the image that runs their
+        # parent ("executed by any thread that becomes available in the
+        # node") and are never shipped through a proxy.
+        return task.parent is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<NodeProxy node{self.node_index}>"
+
+
+class CommThread:
+    """The master's single communication thread."""
+
+    def __init__(self, master_image: "Image", proxies: list[NodeProxy]):
+        self.image = master_image
+        self.rt = master_image.rt
+        self.env = self.rt.env
+        self.proxies = proxies
+
+    @property
+    def window(self) -> int:
+        """Outstanding tasks allowed per node: the executing one plus the
+        presend credit."""
+        return 1 + self.rt.config.presend
+
+    def run(self):
+        """Round-robin polling loop (a simulated process)."""
+        rt = self.rt
+        while rt.running:
+            progressed = False
+            for proxy in self.proxies:
+                while proxy.outstanding < self.window:
+                    task = self.image.scheduler.next_task(proxy)
+                    if task is None:
+                        break
+                    proxy.outstanding += 1
+                    proxy.tasks_dispatched += 1
+                    task.node_index = proxy.node_index
+                    self.env.process(self._dispatch(proxy, task))
+                    progressed = True
+            if not progressed:
+                yield rt.wait_for_work()
+
+    def _dispatch(self, proxy: NodeProxy, task: Task):
+        """Stage data at the node, then start remote execution."""
+        rt = self.rt
+        task.state = TaskState.RUNNING
+        task.assigned_to = proxy
+        # Node-level staging: every read region must be current somewhere on
+        # the target node (the slave's local coherence handles host<->GPU).
+        node_host = rt.host_space(proxy.node_index)
+        fetches = []
+        for acc in task.inputs:
+            if proxy.node_index in rt.directory.nodes_with(acc.region):
+                continue
+            fetches.append(self.env.process(
+                rt.coherence.fetch(acc.region, node_host)))
+        if fetches:
+            yield self.env.all_of(fetches)
+        # Control message starting the remote execution (fire and forget —
+        # completion comes back via its own active message).
+        start = self.env.now
+        yield rt.am.request(0, proxy.node_index, "nanos.run_task", task)
+        if rt.tracer is not None:
+            rt.tracer.record("message", f"run:{task.name}",
+                             f"ctl:0->{proxy.node_index}", start,
+                             self.env.now)
+
+    def on_remote_complete(self, task: Task, node_index: int) -> None:
+        """Handler-side bookkeeping for a task completion message."""
+        finished_proxy = None
+        for proxy in self.proxies:
+            if proxy.node_index == node_index:
+                proxy.outstanding -= 1
+                assert proxy.outstanding >= 0, "presend window broke"
+                finished_proxy = proxy
+                break
+        # Credit the proxy (not the slave-side worker) so successor-first
+        # hints keep follow-up tasks on the same node.
+        self.image.account_finished(task, finished_proxy)

@@ -1,0 +1,94 @@
+"""Runtime configuration: the knobs the paper's evaluation sweeps.
+
+Every option corresponds to a configuration dimension in Section IV:
+
+* ``cache_policy`` — nocache / wt / wb (Figs. 5-8);
+* ``scheduler`` — bf / default (dependencies) / affinity (Figs. 5-6);
+* ``overlap`` — transfer/compute overlap via CUDA streams + pinned staging
+  (Section III.D.2, "disabled by default but can be requested");
+* ``prefetch`` — GPU data prefetch of the next scheduled task;
+* ``presend`` — how many tasks the master pre-sends to a remote node beyond
+  the one executing (Fig. 9's presend sweep);
+* ``slave_to_slave`` — direct StoS data transfers vs routing via the master
+  (Fig. 9's MtoS/StoS dimension);
+* ``steal`` — work stealing between thread queues in the affinity scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..memory.cache import CachePolicy
+
+__all__ = ["RuntimeConfig", "SCHEDULERS"]
+
+SCHEDULERS = ("bf", "default", "affinity")
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    cache_policy: CachePolicy = CachePolicy.WRITE_BACK
+    scheduler: str = "default"
+    overlap: bool = False
+    prefetch: bool = False
+    presend: int = 0
+    slave_to_slave: bool = True
+    steal: bool = True
+    #: functional mode moves real NumPy data; performance mode only times.
+    functional: bool = True
+    #: fraction of GPU memory usable by the software cache (the rest models
+    #: CUDA context/code overheads).
+    gpu_cache_fraction: float = 0.9
+    #: SMP worker threads per node; 0 means one per core not otherwise
+    #: reserved for GPU-manager or communication duty.
+    smp_workers: int = 0
+    #: relative kernel-duration variability (deterministic pseudo-noise);
+    #: models real launch-to-launch variance so schedules do not lock-step.
+    kernel_jitter: float = 0.03
+    #: per-task runtime management cost on the executing thread's critical
+    #: path (graph insertion, clause evaluation, cache lookups — calibrated
+    #: for the 2012-era Nanos++ implementation).
+    task_overhead: float = 150e-6
+    #: chunk size for round-robin placement of no-affinity tasks across
+    #: cluster node domains (affinity scheduler).  1 = pure cyclic deal;
+    #: larger values keep blocked loops contiguous per node (ablation knob —
+    #: cyclic wins for the paper's workloads because it spreads the tile
+    #: sources evenly over the fabric).
+    rr_chunk: int = 1
+
+    def __post_init__(self):
+        object.__setattr__(self, "cache_policy",
+                           CachePolicy.parse(self.cache_policy))
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"expected one of {SCHEDULERS}"
+            )
+        if self.presend < 0:
+            raise ValueError("presend window cannot be negative")
+        if not 0 < self.gpu_cache_fraction <= 1:
+            raise ValueError("gpu_cache_fraction must be in (0, 1]")
+        if self.smp_workers < 0:
+            raise ValueError("smp_workers cannot be negative")
+        if not 0 <= self.kernel_jitter < 1:
+            raise ValueError("kernel_jitter must be in [0, 1)")
+        if self.task_overhead < 0:
+            raise ValueError("task_overhead cannot be negative")
+        if self.rr_chunk < 1:
+            raise ValueError("rr_chunk must be at least 1")
+
+    def with_(self, **changes) -> "RuntimeConfig":
+        """A copy with the given fields replaced (sweep helper)."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """Short label used by the benchmark tables, e.g. ``wb-affinity``."""
+        parts = [self.cache_policy.value, self.scheduler]
+        if self.overlap:
+            parts.append("ovl")
+        if self.prefetch:
+            parts.append("pf")
+        if self.presend:
+            parts.append(f"ps{self.presend}")
+        parts.append("stos" if self.slave_to_slave else "mtos")
+        return "-".join(parts)

@@ -1,0 +1,129 @@
+"""The task dependency graph (paper Section III.C.1).
+
+The runtime maintains a DAG where arcs encode read-after-write,
+write-after-read and write-after-write dependences between *sibling* tasks
+(dependences never cross the dynamic extent of a task — that restriction is
+what makes the hierarchical cluster implementation possible, since a remote
+task's children resolve their dependences entirely on the remote node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..memory.region import PartialOverlapError, Region, RegionKey, relation
+from .task import Direction, Task, TaskState
+
+__all__ = ["DependencyGraph"]
+
+
+@dataclass
+class _RegionState:
+    """Per-region bookkeeping for arc construction."""
+
+    last_writer: Optional[Task] = None
+    readers_since_write: list[Task] = field(default_factory=list)
+
+
+class DependencyGraph:
+    """Sibling-scope dependency tracking for one parent task."""
+
+    def __init__(self, on_ready: Optional[Callable[[Task], None]] = None):
+        #: called when a task has no unfinished predecessors.
+        self.on_ready = on_ready
+        self._regions: dict[RegionKey, _RegionState] = {}
+        self._shapes: dict[int, list[Region]] = {}
+        self._live_tasks: set[int] = set()
+        self.tasks_added = 0
+        self.arcs_created = 0
+
+    # -- bookkeeping ------------------------------------------------------
+    def _check_shape(self, region: Region) -> None:
+        seen = self._shapes.setdefault(region.obj.oid, [])
+        for other in seen:
+            if relation(region, other) == "partial":
+                raise PartialOverlapError(
+                    f"dependence region {region!r} partially overlaps "
+                    f"{other!r}; unsupported (paper Section II.A.3)"
+                )
+        seen.append(region)
+
+    def _state(self, region: Region) -> _RegionState:
+        st = self._regions.get(region.key)
+        if st is None:
+            self._check_shape(region)
+            st = _RegionState()
+            self._regions[region.key] = st
+        return st
+
+    @staticmethod
+    def _add_arc(pred: Task, succ: Task) -> bool:
+        if pred.state is TaskState.FINISHED or pred is succ:
+            return False
+        if succ in pred.successors:
+            return False
+        pred.successors.append(succ)
+        succ.pending_preds += 1
+        return True
+
+    # -- public protocol ---------------------------------------------------
+    def add_task(self, task: Task) -> bool:
+        """Register ``task``; returns True when immediately ready."""
+        self.tasks_added += 1
+        self._live_tasks.add(task.tid)
+        for acc in task.accesses:
+            st = self._state(acc.region)
+            if acc.direction.reads and st.last_writer is not None:
+                if self._add_arc(st.last_writer, task):      # RAW
+                    self.arcs_created += 1
+            if acc.direction.writes:
+                if st.last_writer is not None:
+                    if self._add_arc(st.last_writer, task):  # WAW
+                        self.arcs_created += 1
+                for reader in st.readers_since_write:
+                    if self._add_arc(reader, task):          # WAR
+                        self.arcs_created += 1
+        # Second pass: update per-region state.
+        for acc in task.accesses:
+            st = self._state(acc.region)
+            if acc.direction.writes:
+                st.last_writer = task
+                st.readers_since_write = []
+            else:
+                st.readers_since_write.append(task)
+        if task.pending_preds == 0:
+            task.state = TaskState.READY
+            if self.on_ready is not None:
+                self.on_ready(task)
+            return True
+        return False
+
+    def task_finished(self, task: Task) -> list[Task]:
+        """Mark finished; returns successors that became ready."""
+        task.state = TaskState.FINISHED
+        self._live_tasks.discard(task.tid)
+        newly_ready: list[Task] = []
+        for succ in task.successors:
+            succ.pending_preds -= 1
+            assert succ.pending_preds >= 0, "dependency counting broke"
+            if succ.pending_preds == 0 and succ.state is TaskState.CREATED:
+                succ.state = TaskState.READY
+                newly_ready.append(succ)
+        if self.on_ready is not None:
+            for t in newly_ready:
+                self.on_ready(t)
+        return newly_ready
+
+    def last_writer_of(self, region: Region) -> Optional[Task]:
+        """Unfinished producer of ``region`` (for taskwait-on)."""
+        st = self._regions.get(region.key)
+        if st is None or st.last_writer is None:
+            return None
+        if st.last_writer.state is TaskState.FINISHED:
+            return None
+        return st.last_writer
+
+    @property
+    def live_count(self) -> int:
+        return len(self._live_tasks)

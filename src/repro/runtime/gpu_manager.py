@@ -1,0 +1,144 @@
+"""GPU manager threads (paper Section III.D.2).
+
+On startup the runtime creates one manager thread per GPU.  The manager
+transfers data from and to its GPU, launches kernels, synchronizes their
+execution, and implements the two GPU-level optimizations the paper
+evaluates:
+
+* **overlap of transfers and computation** — DMA through a pinned staging
+  buffer on a separate CUDA stream (requires the extra host-side copy, so it
+  is off by default, matching the paper);
+* **data prefetch** — once a kernel is launched, the manager immediately
+  requests the next task from the scheduler and starts its input transfers,
+  so they complete while the kernel runs.  Without overlap those transfers
+  serialize behind the kernel on the null stream, which is precisely why the
+  paper notes prefetch "is more effective when combined with the
+  overlapping".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..cuda.api import CudaContext
+from ..sim import Event
+from .task import Task, TaskState
+from .worker import resolve_args
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import Image
+
+__all__ = ["GPUManager"]
+
+
+class GPUManager:
+    """One GPU's manager thread, also its scheduler-visible worker."""
+
+    kind = "gpu"
+
+    def __init__(self, image: "Image", gpu, space, cache):
+        self.image = image
+        self.rt = image.rt
+        self.env = image.rt.env
+        self.node = image.node
+        self.node_index = image.node.index
+        self.gpu = gpu
+        self.space = space
+        self.cache = cache
+        self.ctx = CudaContext(self.env, gpu, image.node,
+                               registry=self.rt.kernel_registry,
+                               jitter=self.rt.config.kernel_jitter)
+        self.copy_stream = self.ctx.create_stream()
+        self.tasks_run = 0
+
+    def accepts(self, task: Task) -> bool:
+        return task.device == "cuda"
+
+    @property
+    def place_name(self) -> str:
+        return f"gpu:{self.node_index}:{self.gpu.index}"
+
+    # ------------------------------------------------------------------
+    def dma(self, nbytes: int, direction: str):
+        """Process generator: one host<->device transfer, honoring the
+        overlap configuration (used by the coherence engine)."""
+        if not self.rt.config.overlap:
+            # Pageable copy on the null stream: serializes with kernels.
+            yield self.ctx.memcpy(nbytes, direction, pinned=False)
+            return
+        # Staged pinned copy on a dedicated stream: can overlap compute,
+        # at the price of a pinned-buffer lease and a host memcpy.
+        lease = yield self.ctx.malloc_host(nbytes)
+        try:
+            if direction == "h2d":
+                yield self.ctx.staging_copy(nbytes)
+                yield self.ctx.memcpy(nbytes, direction, pinned=True,
+                                      stream=self.copy_stream)
+            else:
+                yield self.ctx.memcpy(nbytes, direction, pinned=True,
+                                      stream=self.copy_stream)
+                yield self.ctx.staging_copy(nbytes)
+        finally:
+            lease.release()
+
+    # ------------------------------------------------------------------
+    def run(self):
+        """The manager loop (a simulated process)."""
+        rt = self.rt
+        staged_next: Optional[Task] = None
+        while rt.running:
+            task = staged_next
+            staged_next = None
+            if task is None:
+                task = self.image.scheduler.next_task(self)
+            if task is None:
+                yield rt.wait_for_work()
+                continue
+            task.state = TaskState.RUNNING
+            task.assigned_to = self
+            trace_start = self.env.now
+            if rt.config.task_overhead:
+                yield self.env.timeout(rt.config.task_overhead)
+            if not getattr(task, "_staged", False):
+                yield from rt.coherence.stage_in(task, self)
+            kernel_done = self._launch(task)
+
+            prefetch_proc = None
+            if rt.config.prefetch:
+                candidate = self.image.scheduler.next_task(self)
+                if candidate is not None:
+                    prefetch_proc = self.env.process(
+                        self._prefetch(candidate))
+                    staged_next = candidate
+
+            kernel_enqueued = self.env.now
+            yield kernel_done
+            if rt.tracer is not None:
+                rt.tracer.record("kernel", task.name, self.place_name,
+                                 kernel_enqueued, self.env.now)
+            if prefetch_proc is not None:
+                yield prefetch_proc
+            yield from rt.coherence.commit_outputs(task, self)
+            if rt.tracer is not None:
+                rt.tracer.record("task", task.name, self.place_name,
+                                 trace_start, self.env.now)
+            if task.subtasks is not None:
+                yield self.image.run_children(task)
+            self.tasks_run += 1
+            self.image.finish_task(task, self)
+
+    def _prefetch(self, task: Task):
+        task.assigned_to = self
+        yield from self.rt.coherence.stage_in(task, self)
+        task._staged = True
+
+    def _launch(self, task: Task) -> Event:
+        """Enqueue the task's kernel; returns the completion event."""
+        func_args: tuple = ()
+        if self.rt.config.functional and task.kernel.func is not None:
+            func_args = tuple(resolve_args(task, self.space))
+        return self.ctx.launch(task.kernel, func_args=func_args,
+                               **task.cost_kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<GPUManager n{self.node_index}.g{self.gpu.index}>"

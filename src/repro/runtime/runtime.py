@@ -1,0 +1,351 @@
+"""The Nanos++ runtime facade: images, spaces, submission, taskwait.
+
+One :class:`Runtime` instance manages a whole execution over a
+:class:`~repro.hardware.Machine`.  On a single node there is one *image*
+(scheduler + SMP workers + GPU managers); on a cluster the master image
+additionally owns the dependency graph, the per-remote-node proxies and the
+communication thread, while slave images execute what they are sent — the
+paper's hierarchical design.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..cuda.kernels import KernelRegistry
+from ..gasnet import AMLayer
+from ..hardware.cluster import Machine
+from ..memory.cache import SoftwareCache
+from ..memory.directory import Directory
+from ..memory.region import DataObject, Region
+from ..memory.space import AddressSpace, DeviceSpace, HostSpace
+from ..sim import Environment, Event
+from .cluster import CommThread, NodeProxy
+from .coherence import CoherenceEngine
+from .config import RuntimeConfig
+from .dependences import DependencyGraph
+from .gpu_manager import GPUManager
+from .scheduler import make_scheduler
+from .task import Task, TaskState
+from .worker import SMPWorker
+
+__all__ = ["Runtime", "Image"]
+
+
+class Image:
+    """One runtime image: the per-node scheduler and execution places."""
+
+    def __init__(self, rt: "Runtime", node, is_master: bool):
+        self.rt = rt
+        self.node = node
+        self.is_master = is_master
+        self.host_space = rt.host_space(node.index)
+        self.scheduler = make_scheduler(
+            rt.config.scheduler, rt.notify_work, rt.directory,
+            steal=rt.config.steal, rr_chunk=rt.config.rr_chunk,
+        )
+        # Execution places.  Each GPU claims a manager thread; on a cluster
+        # master one more core serves communication; the rest run SMP tasks.
+        reserved = len(node.gpus) + (1 if (is_master and rt.is_cluster) else 0)
+        n_smp = rt.config.smp_workers or max(1, node.spec.cpu.cores - reserved)
+        self.smp_workers = [SMPWorker(self, i) for i in range(n_smp)]
+        self.gpu_managers = []
+        for gpu in node.gpus:
+            space = rt.gpu_space(node.index, gpu.index)
+            cache = rt.cache_of(space)
+            manager = GPUManager(self, gpu, space, cache)
+            self.gpu_managers.append(manager)
+            rt._managers[id(space)] = manager
+        for worker in self.smp_workers + self.gpu_managers:
+            self.scheduler.register_worker(worker)
+        # Cluster master extras.
+        self.proxies: list[NodeProxy] = []
+        self.comm_thread: Optional[CommThread] = None
+        if is_master and rt.is_cluster:
+            self.proxies = [NodeProxy(rt, n.index)
+                            for n in rt.machine.nodes[1:]]
+            for proxy in self.proxies:
+                self.scheduler.register_worker(proxy)
+            self.comm_thread = CommThread(self, self.proxies)
+
+    def start(self) -> None:
+        env = self.rt.env
+        for worker in self.smp_workers:
+            env.process(worker.run())
+        for manager in self.gpu_managers:
+            env.process(manager.run())
+        if self.comm_thread is not None:
+            env.process(self.comm_thread.run())
+
+    # ------------------------------------------------------------------
+    def submit_local(self, task: Task) -> None:
+        """Enter a (ready) task into this image's scheduler."""
+        self.scheduler.submit(task)
+
+    def run_children(self, parent: Task) -> Event:
+        """Execute ``parent``'s decomposition children on this image.
+
+        Children get their own sibling-scope dependency graph (paper
+        Section III.C.1: "a hierarchical implementation of the graph") and
+        never involve the master.  Returns an event firing when all of them
+        have finished.
+        """
+        children = parent.subtasks()
+        done = Event(self.rt.env)
+        if not children:
+            done.succeed()
+            return done
+        graph = DependencyGraph()
+        parent._child_graph = graph
+        parent._children_left = len(children)
+        parent._children_done = done
+        for child in children:
+            child.parent = parent
+            child.done = self.rt.env.event()
+            if graph.add_task(child):
+                self.submit_local(child)
+        return done
+
+    def finish_task(self, task: Task, place) -> None:
+        """Called by the executing place when a task's body has committed."""
+        if task.parent is not None:
+            self._account_child(task, place)
+        elif self.is_master:
+            self.account_finished(task, place)
+        else:
+            # Completion notification back to the master (active message).
+            self.rt.env.process(self._notify_master(task))
+
+    def _account_child(self, task: Task, place) -> None:
+        """Child-task bookkeeping: local graph + parent completion count."""
+        parent = task.parent
+        newly_ready = parent._child_graph.task_finished(task)
+        for t in newly_ready:
+            self.submit_local(t)
+        if task.done is not None and not task.done.triggered:
+            task.done.succeed()
+        parent._children_left -= 1
+        if parent._children_left == 0:
+            parent._children_done.succeed()
+        self.rt.notify_work()
+
+    def _notify_master(self, task: Task):
+        yield self.rt.am.request(self.node.index, 0, "nanos.task_done",
+                                 task, self.node.index)
+
+    def account_finished(self, task: Task, place) -> None:
+        """Master-side graph/scheduler bookkeeping for a finished task."""
+        rt = self.rt
+        newly_ready = rt.graph.task_finished(task)
+        self.scheduler.task_finished(task, place, newly_ready)
+        rt.tasks_finished += 1
+        if task.done is not None and not task.done.triggered:
+            task.done.succeed()
+        rt.notify_completion()
+
+
+class Runtime:
+    """The whole Nanos++ instance for one execution."""
+
+    def __init__(self, machine: Machine,
+                 config: Optional[RuntimeConfig] = None,
+                 kernel_registry: Optional[KernelRegistry] = None,
+                 tracer=None):
+        self.machine = machine
+        self.env: Environment = machine.env
+        self.config = config or RuntimeConfig()
+        self.kernel_registry = kernel_registry or KernelRegistry()
+        #: optional Tracer recording task/transfer/message spans.
+        self.tracer = tracer
+        functional = self.config.functional
+
+        # -- address spaces -------------------------------------------------
+        self._host_spaces: list[HostSpace] = []
+        self._gpu_spaces: dict[tuple[int, int], DeviceSpace] = {}
+        self._caches: dict[int, SoftwareCache] = {}
+        self._managers: dict[int, GPUManager] = {}
+        for node in machine.nodes:
+            host = HostSpace(f"node{node.index}.host", node.index,
+                             functional, canonical=(node.index == 0))
+            self._host_spaces.append(host)
+            for gpu in node.gpus:
+                space = DeviceSpace(f"node{node.index}.gpu{gpu.index}",
+                                    node.index, gpu.index, functional)
+                self._gpu_spaces[(node.index, gpu.index)] = space
+                capacity = int(gpu.mem_capacity
+                               * self.config.gpu_cache_fraction)
+                self._caches[id(space)] = SoftwareCache(
+                    space, capacity, self.config.cache_policy)
+
+        self.directory = Directory(home=self.master_host)
+        self.coherence = CoherenceEngine(self)
+        self.graph = DependencyGraph()
+
+        # -- cluster fabric ------------------------------------------------------
+        self.am: Optional[AMLayer] = None
+        if machine.is_cluster:
+            self.am = AMLayer(self.env, machine.network)
+            self._register_am_handlers()
+
+        # -- images -------------------------------------------------------------
+        self.images = [Image(self, node, is_master=(node.index == 0))
+                       for node in machine.nodes]
+        self.master_image = self.images[0]
+
+        # -- signalling ------------------------------------------------------------
+        self.running = False
+        self._work_event = self.env.event()
+        self._completion_event = self.env.event()
+        self.tasks_submitted = 0
+        self.tasks_finished = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Topology helpers
+    # ------------------------------------------------------------------
+    @property
+    def is_cluster(self) -> bool:
+        return self.machine.is_cluster
+
+    @property
+    def master_host(self) -> HostSpace:
+        return self._host_spaces[0]
+
+    def host_space(self, node_index: int) -> HostSpace:
+        return self._host_spaces[node_index]
+
+    def gpu_space(self, node_index: int, gpu_index: int) -> DeviceSpace:
+        return self._gpu_spaces[(node_index, gpu_index)]
+
+    def cache_of(self, space: AddressSpace) -> Optional[SoftwareCache]:
+        return self._caches.get(id(space))
+
+    def all_caches(self) -> list[SoftwareCache]:
+        return list(self._caches.values())
+
+    def gpu_manager_of(self, space: AddressSpace) -> GPUManager:
+        return self._managers[id(space)]
+
+    def place_of(self, space: AddressSpace):
+        manager = self._managers.get(id(space))
+        if manager is not None:
+            return manager
+        return self.images[space.node_index]
+
+    # ------------------------------------------------------------------
+    # Lifecycle and signalling
+    # ------------------------------------------------------------------
+    def start(self) -> "Runtime":
+        if self._started:
+            return self
+        self._started = True
+        self.running = True
+        for image in self.images:
+            image.start()
+        return self
+
+    def notify_work(self) -> None:
+        ev, self._work_event = self._work_event, self.env.event()
+        ev.succeed()
+
+    def wait_for_work(self) -> Event:
+        return self._work_event
+
+    def notify_completion(self) -> None:
+        ev, self._completion_event = (self._completion_event,
+                                      self.env.event())
+        ev.succeed()
+        self.notify_work()
+
+    def wait_for_completion(self) -> Event:
+        return self._completion_event
+
+    # ------------------------------------------------------------------
+    # Data registration (the application's shared objects)
+    # ------------------------------------------------------------------
+    def register_array(self, name: str, num_elements: int,
+                       dtype=np.float32,
+                       initial: Optional[np.ndarray] = None) -> DataObject:
+        obj = DataObject(name=name, num_elements=num_elements, dtype=dtype)
+        self.master_host.register_object(obj, initial=initial)
+        # The directory learns about regions lazily, at the granularity tasks
+        # actually use (whole-object entries here would conflict with tiles).
+        return obj
+
+    def read_array(self, obj: DataObject) -> np.ndarray:
+        """The canonical (master host) contents — call after a flushing
+        taskwait, otherwise the data may still live on a device."""
+        return self.master_host.object_array(obj)
+
+    # ------------------------------------------------------------------
+    # Task submission / synchronization (the compiler-facing API)
+    # ------------------------------------------------------------------
+    def submit(self, task: Task) -> Task:
+        if not self._started:
+            self.start()
+        task.done = self.env.event()
+        self.tasks_submitted += 1
+        ready = self.graph.add_task(task)
+        if ready:
+            self.master_image.submit_local(task)
+        return task
+
+    def taskwait(self, noflush: bool = False):
+        """Process generator: block until all submitted tasks finished;
+        unless ``noflush``, also make host data current (paper's taskwait
+        vs ``taskwait noflush``)."""
+        while self.graph.live_count > 0:
+            yield self.wait_for_completion()
+        if not noflush:
+            yield from self.coherence.flush()
+
+    def taskwait_on(self, regions: list[Region], noflush: bool = False):
+        """Process generator: the ``taskwait on(...)`` construct — wait only
+        for the producers of ``regions``."""
+        producers = []
+        for region in regions:
+            producer = self.graph.last_writer_of(region)
+            if producer is not None and producer.done is not None:
+                producers.append(producer.done)
+        if producers:
+            yield self.env.all_of(producers)
+        if not noflush:
+            yield from self.coherence.flush(regions)
+
+    def run_main(self, main_generator) -> float:
+        """Execute a main program (a generator using submit/taskwait) to
+        completion; returns the simulated makespan in seconds."""
+        self.start()
+        start = self.env.now
+        proc = self.env.process(main_generator)
+        self.env.run(until=proc)
+        return self.env.now - start
+
+    # ------------------------------------------------------------------
+    # Cluster AM handlers
+    # ------------------------------------------------------------------
+    def _register_am_handlers(self) -> None:
+        assert self.am is not None
+        for endpoint in self.am.endpoints:
+            endpoint.register("nanos.region_data", self._h_region_data)
+            endpoint.register("nanos.run_task", self._h_run_task)
+            if endpoint.node_index == 0:
+                endpoint.register("nanos.task_done", self._h_task_done)
+
+    def _h_region_data(self, src: int, region: Region,
+                       src_space: AddressSpace,
+                       dst_space: AddressSpace) -> None:
+        """Bulk region payload arriving at ``dst_space``'s node."""
+        if self.config.functional:
+            dst_space.write(region, src_space.read(region))
+
+    def _h_run_task(self, src: int, task: Task):
+        """Control message: execute ``task`` on this image."""
+        image = self.images[task.node_index]
+        image.submit_local(task)
+
+    def _h_task_done(self, src: int, task: Task, node_index: int) -> None:
+        """Completion message arriving back at the master."""
+        self.master_image.comm_thread.on_remote_complete(task, node_index)

@@ -1,0 +1,33 @@
+"""The paper's three scheduling policies for Nanos++."""
+
+from typing import Callable
+
+from ...memory.directory import Directory
+from .affinity import AffinityScheduler
+from .base import Scheduler, TaskQueue, WorkerProtocol
+from .breadth_first import BreadthFirstScheduler
+from .dep_aware import DependencyAwareScheduler
+
+__all__ = [
+    "Scheduler",
+    "TaskQueue",
+    "WorkerProtocol",
+    "BreadthFirstScheduler",
+    "DependencyAwareScheduler",
+    "AffinityScheduler",
+    "make_scheduler",
+]
+
+
+def make_scheduler(name: str, notify: Callable[[], None],
+                   directory: Directory, steal: bool = True,
+                   rr_chunk: int = 1) -> Scheduler:
+    """Instantiate a scheduling policy by its evaluation-chart name."""
+    if name == "bf":
+        return BreadthFirstScheduler(notify)
+    if name == "default":
+        return DependencyAwareScheduler(notify)
+    if name == "affinity":
+        return AffinityScheduler(notify, directory, steal=steal,
+                                 rr_chunk=rr_chunk)
+    raise ValueError(f"unknown scheduler {name!r}")

@@ -1,0 +1,123 @@
+"""The ``affinity`` (locality-aware) policy, after Martinell et al.
+
+Paper: "when a new task is submitted, the scheduler computes an affinity
+score for each location.  This score is based on where each data specified by
+the task is located and also takes into account the size of that data (i.e.,
+tries to prioritize big data).  This score is used to place the task in the
+queue of the thread with the highest affinity.  If there is no highest
+affinity, it is placed in a global queue.  When threads request work they
+first look into their local queue, then into the global queue and last, they
+try to steal work from other threads to avoid load imbalance."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...memory.directory import Directory
+from ..task import Task
+from .base import Scheduler, TaskQueue, WorkerProtocol
+
+__all__ = ["AffinityScheduler"]
+
+
+class AffinityScheduler(Scheduler):
+    name = "affinity"
+
+    def __init__(self, notify, directory: Directory, steal: bool = True,
+                 rr_chunk: int = 1):
+        super().__init__(notify)
+        self.directory = directory
+        self.steal = steal
+        #: consecutive no-affinity tasks dealt to the same node domain —
+        #: blocked loops then land as contiguous chunks, which preserves
+        #: row/column reuse for the tasks that consume them.
+        self.rr_chunk = max(1, rr_chunk)
+        self._local: dict[int, TaskQueue] = {}
+        self.stolen = 0
+        self._rr = 0
+
+    def register_worker(self, worker: WorkerProtocol) -> None:
+        super().register_worker(worker)
+        self._local[id(worker)] = TaskQueue()
+
+    # -- scoring ------------------------------------------------------------
+    def _score(self, task: Task, worker: WorkerProtocol) -> int:
+        """Bytes of the task's data currently resident in the worker's
+        domain.  GPU workers score their own device space; node proxies (and
+        SMP workers) score every space of their node — the hierarchical
+        (node-level) view of the directory."""
+        score = 0
+        for acc in task.accesses:
+            if (not acc.direction.reads
+                    and self.directory.version(acc.region) == 0):
+                # A pure output over a never-written region: there is no
+                # data anywhere yet (the home entry is just the registration
+                # point), so it exerts no pull.
+                continue
+            holders = self.directory.holders(acc.region)
+            if worker.kind == "gpu":
+                resident = worker.space in holders
+            else:
+                resident = any(s.node_index == worker.node_index
+                               for s in holders)
+            if resident:
+                # Written data weighs double: keeping the produced (often
+                # dirty) copy where it lives avoids migrating it, and its
+                # next consumer is usually the next task of the same chain.
+                weight = 2 if acc.direction.writes else 1
+                score += weight * acc.region.nbytes
+        return score
+
+    def _place(self, task: Task) -> None:
+        best: Optional[WorkerProtocol] = None
+        best_score = 0
+        for worker in self.workers:
+            if not worker.accepts(task):
+                continue
+            score = self._score(task, worker)
+            if score > best_score:
+                best, best_score = worker, score
+        if best is not None:
+            self._local[id(best)].push(task)
+            return
+        # "If there is no highest affinity, it is placed in a global queue."
+        # On a cluster master the global queue would be drained almost
+        # entirely by the (zero-latency) local workers, so no-affinity tasks
+        # are dealt round-robin across the node domains — the per-node task
+        # pools the communication thread polls (paper Section III.D.1).
+        proxies = [w for w in self.workers
+                   if w.kind == "node" and w.accepts(task)]
+        if proxies:
+            domains = len(proxies) + 1  # remote nodes + the master itself
+            slot = (self._rr // self.rr_chunk) % domains
+            self._rr += 1
+            if slot > 0:
+                self._local[id(proxies[slot - 1])].push(task)
+                return
+        self.global_queue.push(task)
+
+    def next_task(self, worker: WorkerProtocol) -> Optional[Task]:
+        task = self._local[id(worker)].pop_for(worker)
+        if task is not None:
+            return task
+        task = self.global_queue.pop_for(worker)
+        if task is not None:
+            return task
+        if self.steal:
+            # Stealing stays within the node: the paper does not steal
+            # between the queues of different cluster nodes.
+            for other in self.workers:
+                if other is worker or other.node_index != worker.node_index:
+                    continue
+                if other.kind == "node":
+                    continue
+                task = self._local[id(other)].pop_for(worker)
+                if task is not None:
+                    self.stolen += 1
+                    return task
+        return None
+
+    @property
+    def pending(self) -> int:
+        return len(self.global_queue) + sum(len(q) for q in self._local.values())

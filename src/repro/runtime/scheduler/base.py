@@ -1,0 +1,92 @@
+"""Scheduler interface and shared queue machinery (paper Section III.C.2).
+
+Workers (SMP worker threads, GPU manager threads, and — on the master of a
+cluster — the per-remote-node proxies served by the communication thread)
+poll their scheduler for ready tasks.  Device constraints are respected
+everywhere: a ``cuda`` task is only handed to a worker that can run it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional, Protocol
+
+from ..task import Task
+
+__all__ = ["WorkerProtocol", "Scheduler", "TaskQueue"]
+
+
+class WorkerProtocol(Protocol):
+    """What schedulers need to know about an execution place."""
+
+    kind: str          # "smp" | "gpu" | "node"
+    node_index: int
+    space: object      # AddressSpace of the place (host/device space)
+
+    def accepts(self, task: Task) -> bool: ...
+
+
+class TaskQueue:
+    """FIFO of ready tasks (readiness order) with device-aware extraction."""
+
+    def __init__(self):
+        self._q: deque[Task] = deque()
+
+    def push(self, task: Task) -> None:
+        self._q.append(task)
+
+    def push_front(self, task: Task) -> None:
+        self._q.appendleft(task)
+
+    def pop_for(self, worker: WorkerProtocol) -> Optional[Task]:
+        """First queued task the worker can execute (stable order)."""
+        for i, task in enumerate(self._q):
+            if worker.accepts(task):
+                del self._q[i]
+                return task
+        return None
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+
+class Scheduler:
+    """Base scheduler: global FIFO; subclasses refine placement."""
+
+    name = "base"
+
+    def __init__(self, notify: Callable[[], None]):
+        #: callback waking idle workers when work arrives.
+        self._notify = notify
+        self.workers: list[WorkerProtocol] = []
+        self.global_queue = TaskQueue()
+        self.tasks_submitted = 0
+
+    # -- wiring -----------------------------------------------------------
+    def register_worker(self, worker: WorkerProtocol) -> None:
+        self.workers.append(worker)
+
+    # -- protocol ------------------------------------------------------------
+    def submit(self, task: Task) -> None:
+        """A task became ready: place it in some queue."""
+        self.tasks_submitted += 1
+        self._place(task)
+        self._notify()
+
+    def task_finished(self, task: Task, worker: WorkerProtocol,
+                      newly_ready: list[Task]) -> None:
+        """A task finished on ``worker`` releasing ``newly_ready`` tasks."""
+        for t in newly_ready:
+            self.submit(t)
+
+    def next_task(self, worker: WorkerProtocol) -> Optional[Task]:
+        """Non-blocking poll for the next task ``worker`` should run."""
+        return self.global_queue.pop_for(worker)
+
+    # -- subclass hook ----------------------------------------------------------
+    def _place(self, task: Task) -> None:
+        self.global_queue.push(task)
+
+    @property
+    def pending(self) -> int:
+        return len(self.global_queue)

@@ -1,0 +1,13 @@
+"""The ``bf`` policy: plain FIFO over a single global queue."""
+
+from __future__ import annotations
+
+from .base import Scheduler
+
+__all__ = ["BreadthFirstScheduler"]
+
+
+class BreadthFirstScheduler(Scheduler):
+    """Simple FIFO scheduling strategy (paper: *breadth-first*)."""
+
+    name = "bf"

@@ -1,0 +1,118 @@
+"""Execution tracing (the Paraver/Extrae role in the BSC ecosystem).
+
+Nanos++ installations are habitually analyzed with Paraver timelines; this
+module records the same kinds of spans from the simulated execution — task
+bodies per execution place, data transfers per link, cluster control
+messages — and can export a minimal Paraver ``.prv`` trace plus compute
+per-place utilization, which the tests use to assert scheduling properties
+(e.g. that a GPU never runs two kernels at once).
+
+Enable by passing a :class:`Tracer` to the runtime::
+
+    tracer = Tracer()
+    rt = Runtime(machine, config, tracer=tracer)
+    ...
+    print(tracer.utilization("gpu:0:0", rt.env.now))
+    Path("run.prv").write_text(tracer.to_paraver())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+__all__ = ["Tracer", "TraceEvent", "CATEGORIES"]
+
+#: Span categories recorded by the instrumented runtime.
+CATEGORIES = ("task", "kernel", "transfer", "message", "stage")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One span on one place's timeline."""
+
+    category: str
+    name: str
+    place: str          # e.g. "gpu:0:1", "smp:0:3", "net:0->2"
+    start: float
+    end: float
+    nbytes: int = 0
+
+    def __post_init__(self):
+        if self.category not in CATEGORIES:
+            raise ValueError(f"unknown trace category {self.category!r}")
+        if self.end < self.start:
+            raise ValueError("span ends before it starts")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Tracer:
+    """Collects spans; provides queries and Paraver export."""
+
+    def __init__(self):
+        self.events: list[TraceEvent] = []
+
+    # -- recording ---------------------------------------------------------
+    def record(self, category: str, name: str, place: str, start: float,
+               end: float, nbytes: int = 0) -> None:
+        self.events.append(TraceEvent(category, name, place, start, end,
+                                      nbytes))
+
+    # -- queries ----------------------------------------------------------
+    def by_category(self, category: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.category == category]
+
+    def places(self) -> list[str]:
+        return sorted({e.place for e in self.events})
+
+    def timeline(self, place: str) -> list[TraceEvent]:
+        return sorted((e for e in self.events if e.place == place),
+                      key=lambda e: (e.start, e.end))
+
+    def busy_time(self, place: str,
+                  categories: Optional[Iterable[str]] = None) -> float:
+        """Union length of the place's spans (overlaps merged)."""
+        spans = [(e.start, e.end) for e in self.timeline(place)
+                 if categories is None or e.category in categories]
+        if not spans:
+            return 0.0
+        total = 0.0
+        cur_start, cur_end = spans[0]
+        for start, end in spans[1:]:
+            if start > cur_end:
+                total += cur_end - cur_start
+                cur_start, cur_end = start, end
+            else:
+                cur_end = max(cur_end, end)
+        return total + (cur_end - cur_start)
+
+    def utilization(self, place: str, makespan: float,
+                    categories: Optional[Iterable[str]] = None) -> float:
+        if makespan <= 0:
+            return 0.0
+        return self.busy_time(place, categories) / makespan
+
+    def bytes_moved(self) -> int:
+        return sum(e.nbytes for e in self.by_category("transfer"))
+
+    # -- Paraver export -----------------------------------------------------
+    def to_paraver(self) -> str:
+        """A minimal Paraver .prv rendering: one 'thread' per place, state
+        records (type 1) per span, in microseconds."""
+        places = self.places()
+        ids = {p: i + 1 for i, p in enumerate(places)}
+        end_us = max((e.end for e in self.events), default=0.0) * 1e6
+        header = (f"#Paraver (repro):{int(end_us)}_us:"
+                  f"1(1):{len(places)}({','.join('1' for _ in places)})")
+        lines = [header]
+        cat_code = {c: i + 1 for i, c in enumerate(CATEGORIES)}
+        for e in sorted(self.events, key=lambda e: e.start):
+            tid = ids[e.place]
+            lines.append(
+                f"1:{tid}:1:{tid}:1:{int(e.start * 1e6)}:"
+                f"{int(e.end * 1e6)}:{cat_code[e.category]}"
+            )
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,106 @@
+"""SMP worker threads: execute ``smp`` tasks on host cores."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..memory.region import Region
+from .task import Direction, Task, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import Image
+
+__all__ = ["SMPWorker", "resolve_args"]
+
+
+def resolve_args(task: Task, space) -> list:
+    """Replace Region placeholders in the task's args with space buffers.
+
+    Read regions resolve via ``space.read`` (the fetched copy); written
+    regions via ``space.writable`` (allocated on demand), so the body mutates
+    the executing space's storage in place.
+    """
+    directions = {a.region.key: a.direction
+                  for a in (*task.accesses, *task.copies)}
+
+    def one(region: Region):
+        direction = directions.get(region.key)
+        if direction is None:
+            raise ValueError(
+                f"task {task.name!r} passes region {region!r} without a "
+                "dependence clause for it"
+            )
+        if direction.writes:
+            return space.writable(region)
+        return space.read(region)
+
+    resolved = []
+    for arg in task.args:
+        if isinstance(arg, Region):
+            resolved.append(one(arg))
+        elif (isinstance(arg, tuple) and arg
+              and all(isinstance(r, Region) for r in arg)):
+            resolved.append([one(r) for r in arg])
+        else:
+            resolved.append(arg)
+    return resolved
+
+
+class SMPWorker:
+    """One host-core worker thread of one image."""
+
+    kind = "smp"
+
+    def __init__(self, image: "Image", worker_index: int):
+        self.image = image
+        self.rt = image.rt
+        self.env = image.rt.env
+        self.node = image.node
+        self.node_index = image.node.index
+        self.space = image.host_space
+        self.cache = None  # host memory is not a software cache
+        self.worker_index = worker_index
+        self.tasks_run = 0
+
+    def accepts(self, task: Task) -> bool:
+        return task.device == "smp"
+
+    def run(self):
+        """The worker loop (a simulated process)."""
+        rt = self.rt
+        while rt.running:
+            task = self.image.scheduler.next_task(self)
+            if task is None:
+                yield rt.wait_for_work()
+                continue
+            yield from self.execute(task)
+
+    @property
+    def place_name(self) -> str:
+        return f"smp:{self.node_index}:{self.worker_index}"
+
+    def execute(self, task: Task):
+        task.state = TaskState.RUNNING
+        task.assigned_to = self
+        trace_start = self.env.now
+        if self.rt.config.task_overhead:
+            yield self.env.timeout(self.rt.config.task_overhead)
+        yield from self.rt.coherence.stage_in(task, self)
+        duration = task.smp_duration(self.node.spec.cpu)
+        yield self.env.process(self.node.run_cpu_work(duration))
+        if self.rt.config.functional and task.func is not None:
+            task.func(*resolve_args(task, self.space))
+        yield from self.rt.coherence.commit_outputs(task, self)
+        if self.rt.tracer is not None:
+            self.rt.tracer.record("task", task.name, self.place_name,
+                                  trace_start, self.env.now)
+        if task.subtasks is not None:
+            # Hierarchical decomposition: children run on this image with
+            # their own sibling-scope graph; the parent completes once they
+            # all have (so its own siblings see the decomposed work done).
+            yield self.image.run_children(task)
+        self.tasks_run += 1
+        self.image.finish_task(task, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SMPWorker n{self.node_index}.w{self.worker_index}>"

@@ -1,0 +1,257 @@
+"""Deterministic discrete-event simulation core.
+
+The whole reproduction runs on this engine: the Nanos++ runtime threads, GPU
+engines, network links and MPI ranks are all simulated processes scheduling
+events in virtual time.  The engine is deliberately SimPy-like (generator
+based), but self-contained and strictly deterministic: events that fire at the
+same instant are ordered by (priority, insertion sequence).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Interrupt",
+    "SimulationError",
+    "StopSimulation",
+    "PRIORITY_URGENT",
+    "PRIORITY_NORMAL",
+    "PRIORITY_LOW",
+]
+
+#: Scheduling priorities for simultaneous events (lower fires first).
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+PRIORITY_LOW = 2
+
+#: Sentinel for "event has not been assigned a value yet".
+_PENDING = object()
+
+
+class SimulationError(Exception):
+    """Raised for illegal uses of the simulation API."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` early."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A happening in virtual time that processes can wait on.
+
+    An event goes through three states: *pending* (created), *triggered*
+    (given a value and scheduled on the event queue) and *processed* (its
+    callbacks have run).  Waiting on an already-processed event is legal and
+    resumes the waiter immediately.
+    """
+
+    __slots__ = (
+        "env", "callbacks", "_value", "_ok", "_scheduled", "_processed",
+        "_defused",
+    )
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[[Event], None]]] = []
+        self._value: Any = _PENDING
+        self._ok = True
+        self._scheduled = False
+        self._processed = False
+        self._defused = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = value
+        self._ok = True
+        self.env._schedule(self, priority)
+        return self
+
+    def fail(self, exc: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event with an exception to be thrown into waiters."""
+        if not isinstance(exc, BaseException):
+            raise SimulationError("fail() needs an exception instance")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = exc
+        self._ok = False
+        self.env._schedule(self, priority)
+        return self
+
+    # -- composition ----------------------------------------------------
+    def __and__(self, other: "Event") -> "Event":
+        from .sync import AllOf
+
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "Event":
+        from .sync import AnyOf
+
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = (
+            "processed" if self._processed
+            else "triggered" if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed virtual-time delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        self._ok = True
+        env._schedule(self, PRIORITY_NORMAL, delay=delay)
+
+
+class Environment:
+    """Owns the virtual clock and the event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self.active_process = None  # set by Process while running
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds)."""
+        return self._now
+
+    # -- event construction ----------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator) -> "Process":
+        from .process import Process
+
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        from .sync import AllOf
+
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        from .sync import AnyOf
+
+        return AnyOf(self, list(events))
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule(self, event: Event, priority: int = PRIORITY_NORMAL,
+                  delay: float = 0.0) -> None:
+        if event._scheduled:
+            raise SimulationError(f"{event!r} already scheduled")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event (advancing the clock to it)."""
+        if not self._queue:
+            raise SimulationError("no more events")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # Nobody waited on a failed event: surface the error loudly
+            # instead of losing it.
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run until ``until`` (an Event, a time, or queue exhaustion).
+
+        Returns the value of the ``until`` event if one was given.
+        """
+        stop_at = None
+        until_event: Optional[Event] = None
+        if isinstance(until, Event):
+            until_event = until
+            if until_event._processed:
+                return until_event.value if until_event._ok else None
+            until_event.callbacks.append(self._stop_callback)
+        elif until is not None:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise SimulationError("cannot run into the past")
+
+        try:
+            while self._queue:
+                if stop_at is not None and self.peek() > stop_at:
+                    self._now = stop_at
+                    return None
+                self.step()
+        except StopSimulation as stop:
+            return stop.args[0] if stop.args else None
+        if until_event is not None and not until_event.triggered:
+            raise SimulationError(
+                "run(until=event) exhausted the event queue before the event "
+                "triggered (deadlock in the simulated system?)"
+            )
+        if stop_at is not None:
+            self._now = stop_at
+        return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        if event._ok:
+            raise StopSimulation(event._value)
+        event._defused = True
+        raise event._value

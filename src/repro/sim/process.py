@@ -1,0 +1,104 @@
+"""Generator-based simulated processes.
+
+A :class:`Process` wraps a Python generator.  Each value the generator yields
+must be an :class:`~repro.sim.core.Event`; the process sleeps until the event
+fires and is resumed with the event's value (or has the event's exception
+thrown into it).  A process is itself an event that triggers with the
+generator's return value, so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from .core import Event, Interrupt, PRIORITY_URGENT, SimulationError
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """A running simulated activity (thread, engine, protocol handler...)."""
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env, generator: Generator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"Process needs a generator, got {type(generator).__name__}"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._target: Event | None = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off the process at the current instant, ahead of normal events.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap._value = None
+        bootstrap._ok = True
+        env._schedule(bootstrap, PRIORITY_URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant."""
+        if self.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        if self.env.active_process is self:
+            raise SimulationError("a process cannot interrupt itself")
+        event = Event(self.env)
+        event.callbacks.append(self._resume)
+        event._value = Interrupt(cause)
+        event._ok = False
+        event._defused = True
+        # Detach from the event the process was waiting on, if any.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        self.env._schedule(event, PRIORITY_URGENT)
+
+    # ------------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self.env.active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self.env.active_process = None
+                self._target = None
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self.env.active_process = None
+                self._target = None
+                self.fail(exc)
+                return
+
+            if not isinstance(next_event, Event):
+                self.env.active_process = None
+                exc = SimulationError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+                try:
+                    self._generator.throw(exc)
+                except BaseException as err:
+                    self.fail(err)
+                    return
+                raise exc
+
+            if next_event.callbacks is not None:
+                # Event still pending: sleep until it fires.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                self.env.active_process = None
+                return
+            # Event already processed: loop and resume immediately.
+            event = next_event

@@ -1,0 +1,74 @@
+"""Composite events: wait for all or any of a set of events."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .core import Event, SimulationError
+
+__all__ = ["AllOf", "AnyOf"]
+
+
+class _Condition(Event):
+    """Base for composite events over a fixed list of sub-events."""
+
+    __slots__ = ("_events", "_count")
+
+    def __init__(self, env, events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        for ev in self._events:
+            if ev.env is not env:
+                raise SimulationError("events belong to different environments")
+        self._count = 0
+        if not self._events:
+            self.succeed(self._collect())
+            return
+        for ev in self._events:
+            if ev.callbacks is None:
+                # Already processed.
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _collect(self) -> dict[Event, object]:
+        return {ev: ev._value for ev in self._events if ev.processed and ev._ok}
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers once every sub-event has triggered (fails fast on failure)."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count == len(self._events):
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as one sub-event triggers."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())

@@ -1,0 +1,120 @@
+"""Tests for explicit copy clauses (target's copy_in/copy_out/copy_inout)."""
+
+import numpy as np
+import pytest
+
+from repro import Program, from_pragmas, target, task
+from repro.hardware import build_multi_gpu_node
+from repro.runtime import Direction, RuntimeConfig
+from repro.sim import Environment
+
+
+def make_program(**cfg):
+    env = Environment()
+    return Program(build_multi_gpu_node(env, num_gpus=1),
+                   RuntimeConfig(**cfg))
+
+
+def gpu_cost(spec, bound):
+    return 1e-6
+
+
+def test_copy_clause_names_must_be_parameters():
+    with pytest.raises(ValueError, match="unknown parameter"):
+        @target(device="cuda", copy_in=("ghost",))
+        @task(inputs=("a",), cost=gpu_cost)
+        def f(a):
+            pass
+
+
+def test_copy_clause_arg_must_be_view():
+    prog = make_program()
+
+    a = prog.array("a", 8)
+
+    @target(device="cuda", copy_deps=False, copy_in=("table",))
+    @task(inouts=("x",), cost=gpu_cost)
+    def f(x, table):
+        x += table
+
+    with pytest.raises(TypeError, match="copy clause"):
+        f(a.whole, 3.0)
+
+
+def test_copy_deps_false_with_explicit_copies_moves_data():
+    """The paper's non-copy_deps style: dependence clauses order tasks,
+    explicit copy clauses move the data."""
+    prog = make_program()
+    a = prog.array("a", 16, init=np.ones(16, dtype=np.float32))
+
+    @target(device="cuda", copy_deps=False, copy_inout=("x",))
+    @task(inouts=("x",), cost=gpu_cost)
+    def bump(x):
+        x += 1
+
+    def main():
+        bump(a.whole)
+        bump(a.whole)
+        yield from prog.taskwait()
+
+    prog.run(main())
+    np.testing.assert_allclose(a.np, 3.0)
+
+
+def test_copy_deps_false_without_copies_moves_nothing():
+    prog = make_program(functional=False)
+    a = prog.array("a", 16)
+
+    @target(device="cuda", copy_deps=False)
+    @task(inouts=("x",), cost=gpu_cost)
+    def bump(x):
+        x += 1
+
+    def main():
+        bump(a.whole)
+        yield from prog.taskwait(noflush=True)
+
+    prog.run(main())
+    assert prog.stats["transfers"] == 0
+
+
+def test_copy_accesses_union_of_deps_and_copies():
+    """copy_deps plus an extra copy_in region: both are staged."""
+    prog = make_program()
+    a = prog.array("a", 16, init=np.full(16, 2.0, dtype=np.float32))
+    lut = prog.array("lut", 16, init=np.arange(16, dtype=np.float32))
+
+    @target(device="cuda", copy_deps=True, copy_in=("table",))
+    @task(inouts=("x",), cost=gpu_cost)
+    def apply_lut(x, table):
+        x += table
+
+    def main():
+        apply_lut(a.whole, lut.whole)
+        yield from prog.taskwait()
+
+    prog.run(main())
+    np.testing.assert_allclose(a.np, 2.0 + np.arange(16))
+
+
+def test_pragma_copy_clauses_translate():
+    prog = make_program()
+    a = prog.array("a", 8, init=np.zeros(8, dtype=np.float32))
+
+    @from_pragmas(
+        "#pragma omp target device(cuda) copy_inout([n] x)",
+        "#pragma omp task inout([n] x)",
+        cost=gpu_cost,
+    )
+    def bump(x, n):
+        x += 5
+
+    assert not bump.copy_deps
+    assert bump.copy_clauses == {"x": Direction.INOUT}
+
+    def main():
+        bump(a.whole, 8)
+        yield from prog.taskwait()
+
+    prog.run(main())
+    np.testing.assert_allclose(a.np, 5.0)

@@ -1,0 +1,281 @@
+"""Tests for the task/target decorators and Program API — including a faithful
+rendering of the paper's Figure 2 STREAM code."""
+
+import numpy as np
+import pytest
+
+from repro import Program, from_pragmas, target, task
+from repro.api.decorators import TaskFunction
+from repro.cuda import SGEMM, streaming_cost
+from repro.hardware import build_multi_gpu_node
+from repro.runtime import RuntimeConfig, TaskState
+from repro.sim import Environment
+
+
+def make_program(num_gpus=1, **cfg):
+    env = Environment()
+    machine = build_multi_gpu_node(env, num_gpus=num_gpus)
+    return Program(machine, RuntimeConfig(**cfg))
+
+
+def stream_cost(spec, bound):
+    # bandwidth-bound: one read + one write per element (float32)
+    return streaming_cost(spec, 8 * bound["n"])
+
+
+# ---------------------------------------------------------------- decorators
+
+def test_task_requires_dependence_clause():
+    with pytest.raises(ValueError, match="no dependence clauses"):
+        @task()
+        def f(a):
+            pass
+
+
+def test_task_clause_must_name_parameter():
+    with pytest.raises(ValueError, match="unknown parameter"):
+        @task(inputs=("ghost",))
+        def f(a):
+            pass
+
+
+def test_parameter_in_two_clauses_rejected():
+    with pytest.raises(ValueError, match="two dependence clauses"):
+        @task(inputs=("a",), outputs=("a",))
+        def f(a):
+            pass
+
+
+def test_target_requires_task_underneath():
+    with pytest.raises(TypeError, match="apply @target above @task"):
+        @target(device="cuda")
+        def f(a):
+            pass
+
+
+def test_target_bad_device_rejected():
+    with pytest.raises(ValueError, match="unsupported target device"):
+        target(device="fpga")
+
+
+def test_cuda_task_without_cost_rejected():
+    with pytest.raises(ValueError, match="needs a cost model"):
+        @target(device="cuda")
+        @task(inputs=("a",))
+        def f(a):
+            pass
+
+
+def test_decorated_function_is_task_function():
+    @task(inputs=("a",), outputs=("b",))
+    def f(a, b):
+        pass
+
+    assert isinstance(f, TaskFunction)
+    assert f.device == "smp"
+
+
+def test_call_with_non_view_dependence_arg_rejected():
+    prog = make_program()
+
+    @task(inputs=("a",), outputs=("b",))
+    def f(a, b):
+        pass
+
+    a = prog.array("a", 10)
+    with pytest.raises(TypeError, match="must be a DataView"):
+        f(a.whole, 3.0)
+
+
+# ------------------------------------------------ end-to-end: paper Figure 2
+
+def build_stream_tasks():
+    """The four STREAM task functions, as in Figure 2 of the paper."""
+
+    @target(device="cuda", copy_deps=True)
+    @task(inputs=("a",), outputs=("c",), cost=stream_cost)
+    def copy(a, c, n):
+        c[:] = a
+
+    @target(device="cuda", copy_deps=True)
+    @task(inputs=("c",), outputs=("b",), cost=stream_cost)
+    def scale(b, c, scalar, n):
+        b[:] = scalar * c
+
+    @target(device="cuda", copy_deps=True)
+    @task(inputs=("a", "b"), outputs=("c",), cost=stream_cost)
+    def add(a, b, c, n):
+        c[:] = a + b
+
+    @target(device="cuda", copy_deps=True)
+    @task(inputs=("b", "c"), outputs=("a",), cost=stream_cost)
+    def triad(a, b, c, scalar, n):
+        a[:] = b + scalar * c
+
+    return copy, scale, add, triad
+
+
+@pytest.mark.parametrize("num_gpus", [1, 2, 4])
+def test_stream_figure2_functional(num_gpus):
+    prog = make_program(num_gpus=num_gpus)
+    N, BS = 64, 16
+    scalar = 3.0
+    a = prog.array("a", N, init=np.arange(N, dtype=np.float32))
+    b = prog.array("b", N)
+    c = prog.array("c", N)
+    copy, scale, add, triad = build_stream_tasks()
+
+    def main():
+        for _ in range(2):  # NTIMES
+            for j in range(0, N, BS):
+                copy(a[j:j + BS], c[j:j + BS], BS)
+            for j in range(0, N, BS):
+                scale(b[j:j + BS], c[j:j + BS], scalar, BS)
+            for j in range(0, N, BS):
+                add(a[j:j + BS], b[j:j + BS], c[j:j + BS], BS)
+            for j in range(0, N, BS):
+                triad(a[j:j + BS], b[j:j + BS], c[j:j + BS], scalar, BS)
+        yield from prog.taskwait()
+
+    prog.run(main())
+    # Serial reference.
+    ra = np.arange(N, dtype=np.float32)
+    rb = np.zeros(N, dtype=np.float32)
+    rc = np.zeros(N, dtype=np.float32)
+    for _ in range(2):
+        rc[:] = ra
+        rb[:] = scalar * rc
+        rc[:] = ra + rb
+        ra[:] = rb + scalar * rc
+    np.testing.assert_allclose(a.np, ra)
+    np.testing.assert_allclose(b.np, rb)
+    np.testing.assert_allclose(c.np, rc)
+    assert prog.makespan > 0
+    assert prog.stats["tasks"] == 2 * 4 * (N // BS)
+
+
+def test_library_kernel_spec_cost_path():
+    """Passing a KernelSpec (CUBLAS sgemm) as the task cost, like Figure 1."""
+    prog = make_program()
+    bs = 4
+    a = prog.array("a", bs * bs, init=np.ones(bs * bs, dtype=np.float32))
+    b = prog.array("b", bs * bs, init=np.full(bs * bs, 2.0, dtype=np.float32))
+    c = prog.array("c", bs * bs)
+
+    @target(device="cuda", copy_deps=True)
+    @task(inputs=("a", "b"), inouts=("c",), cost=SGEMM)
+    def matmul_tile(a, b, c, m, n, k):
+        pass  # body provided by the library kernel (CUBLAS)
+
+    def main():
+        matmul_tile(a.whole, b.whole, c.whole, bs, bs, bs)
+        yield from prog.taskwait()
+
+    prog.run(main())
+    np.testing.assert_allclose(c.np.reshape(bs, bs),
+                               np.full((bs, bs), 2.0 * bs))
+
+
+def test_smp_task_with_callable_cost():
+    prog = make_program()
+    a = prog.array("a", 8, init=np.zeros(8, dtype=np.float32))
+    costs_seen = []
+
+    def smp_cost(cpu_spec, bound):
+        costs_seen.append(bound["v"])
+        return 1e-6
+
+    @task(inouts=("a",), cost=smp_cost)
+    def bump(a, v):
+        a += v
+
+    def main():
+        bump(a.whole, 5.0)
+        yield from prog.taskwait()
+
+    prog.run(main())
+    np.testing.assert_allclose(a.np, 5.0)
+    assert costs_seen == [5.0]
+
+
+def test_from_pragmas_builds_equivalent_task():
+    prog = make_program()
+    N = 32
+    a = prog.array("a", N, init=np.arange(N, dtype=np.float32))
+    c = prog.array("c", N)
+
+    @from_pragmas(
+        "#pragma omp target device(cuda) copy_deps",
+        "#pragma omp task input([N] a) output([N] c)",
+        cost=stream_cost,
+    )
+    def copy(a, c, n):
+        c[:] = a
+
+    assert copy.device == "cuda"
+    assert copy.copy_deps
+
+    def main():
+        copy(a.whole, c.whole, N)
+        yield from prog.taskwait()
+
+    prog.run(main())
+    np.testing.assert_allclose(c.np, np.arange(N))
+
+
+def test_taskwait_on_waits_only_named_producer():
+    prog = make_program()
+    N = 16
+    a = prog.array("a", N, init=np.ones(N, dtype=np.float32))
+    b = prog.array("b", N)
+    c = prog.array("c", N)
+
+    @target(device="cuda", copy_deps=True)
+    @task(inputs=("x",), outputs=("y",), cost=lambda s, bound: 1e-3)
+    def quick(x, y):
+        y[:] = x + 1
+
+    @target(device="cuda", copy_deps=True)
+    @task(inputs=("x",), outputs=("y",), cost=lambda s, bound: 1.0)
+    def slow(x, y):
+        y[:] = x + 100
+
+    times = {}
+
+    def main():
+        quick(a.whole, b.whole)
+        slow(a.whole, c.whole)
+        yield from prog.taskwait_on(b.whole)
+        times["after_on"] = prog.env.now
+        np.testing.assert_allclose(b.np, 2.0)
+        yield from prog.taskwait()
+        times["after_all"] = prog.env.now
+
+    prog.run(main())
+    assert times["after_on"] < 0.5       # did not wait for the slow task
+    assert times["after_all"] >= 0.9     # waited for the ~1s task (jittered)
+    np.testing.assert_allclose(c.np, 101.0)
+
+
+def test_same_code_runs_on_cluster():
+    """The paper's headline: identical application code on a GPU cluster."""
+    from repro.hardware import build_gpu_cluster
+
+    env = Environment()
+    prog = Program(build_gpu_cluster(env, num_nodes=2))
+    N, BS = 32, 8
+    a = prog.array("a", N, init=np.arange(N, dtype=np.float32))
+    b = prog.array("b", N)
+    c = prog.array("c", N)
+    copy, scale, add, triad = build_stream_tasks()
+
+    def main():
+        for j in range(0, N, BS):
+            copy(a[j:j + BS], c[j:j + BS], BS)
+        for j in range(0, N, BS):
+            scale(b[j:j + BS], c[j:j + BS], 3.0, BS)
+        yield from prog.taskwait()
+
+    prog.run(main())
+    np.testing.assert_allclose(c.np, np.arange(N))
+    np.testing.assert_allclose(b.np, 3.0 * np.arange(N))

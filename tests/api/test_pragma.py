@@ -1,0 +1,99 @@
+"""Tests for the pragma parser (Mercurium front-end stand-in)."""
+
+import pytest
+
+from repro.api import (
+    DepExpr,
+    PragmaError,
+    TargetDirective,
+    TaskDirective,
+    TaskwaitDirective,
+    parse_pragma,
+)
+
+
+def test_parse_task_with_sections():
+    d = parse_pragma("#pragma omp task input([N] a, [N] b) output([N] c)")
+    assert isinstance(d, TaskDirective)
+    assert d.inputs == (DepExpr("a", "N"), DepExpr("b", "N"))
+    assert d.outputs == (DepExpr("c", "N"),)
+    assert d.inouts == ()
+
+
+def test_parse_task_inout_scalar():
+    d = parse_pragma("#pragma omp task inout(x)")
+    assert d.inouts == (DepExpr("x", None),)
+
+
+def test_parse_paper_figure1_matmul_task():
+    # The exact directive shape from Figure 1 (tile arguments).
+    d = parse_pragma(
+        "#pragma omp task input([BS][BS] A, [BS][BS] B) inout([BS][BS] C)"
+    )
+    # Multi-dim sections collapse to the first bracket + name in our model:
+    # the region length is computed from the actual DataView at call time.
+    assert [e.name for e in d.inputs] == ["A", "B"]
+    assert [e.name for e in d.inouts] == ["C"]
+
+
+def test_parse_target_device_cuda_copy_deps():
+    d = parse_pragma("#pragma omp target device(cuda) copy_deps")
+    assert isinstance(d, TargetDirective)
+    assert d.device == "cuda"
+    assert d.copy_deps
+
+
+def test_parse_target_device_alias_gpu():
+    d = parse_pragma("#pragma omp target device(gpu)")
+    assert d.device == "cuda"
+
+
+def test_parse_target_copy_clauses():
+    d = parse_pragma(
+        "#pragma omp target device(smp) copy_in([N] a) copy_out([N] b)"
+    )
+    assert d.copy_in == (DepExpr("a", "N"),)
+    assert d.copy_out == (DepExpr("b", "N"),)
+
+
+def test_parse_taskwait_plain():
+    d = parse_pragma("#pragma omp taskwait")
+    assert isinstance(d, TaskwaitDirective)
+    assert not d.noflush
+    assert d.on == ()
+
+
+def test_parse_taskwait_on_noflush():
+    d = parse_pragma("#pragma omp taskwait on([N] c) noflush")
+    assert d.on == (DepExpr("c", "N"),)
+    assert d.noflush
+
+
+def test_not_a_pragma_rejected():
+    with pytest.raises(PragmaError, match="not an omp pragma"):
+        parse_pragma("int main() {}")
+
+
+def test_unknown_construct_rejected():
+    with pytest.raises(PragmaError, match="unsupported construct"):
+        parse_pragma("#pragma omp parallel for")
+
+
+def test_unknown_device_rejected():
+    with pytest.raises(PragmaError, match="unknown device"):
+        parse_pragma("#pragma omp target device(fpga)")
+
+
+def test_unknown_task_clause_rejected():
+    with pytest.raises(PragmaError, match="unknown task clause"):
+        parse_pragma("#pragma omp task shared(a)")
+
+
+def test_bad_dependence_expression_rejected():
+    with pytest.raises(PragmaError, match="bad dependence expression"):
+        parse_pragma("#pragma omp task input(a+b)")
+
+
+def test_whitespace_tolerance():
+    d = parse_pragma("  #  pragma   omp   task   input( [ N ] a )")
+    assert d.inputs == (DepExpr("a", "N"),)

@@ -1,0 +1,141 @@
+"""Functional correctness and behavior tests for the Matmul application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.matmul import (
+    TEST_MATMUL,
+    MatmulSize,
+    build_matrix,
+    process_grid,
+    run_cuda,
+    run_mpi_cuda,
+    run_ompss,
+    run_serial,
+    serial_matmul_tiled,
+    tiled_to_dense,
+)
+from repro.hardware import build_gpu_cluster, build_multi_gpu_node
+from repro.runtime import RuntimeConfig
+from repro.sim import Environment
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return run_serial(TEST_MATMUL).output["c"]
+
+
+def test_serial_matches_dense_numpy():
+    size = TEST_MATMUL
+    a, b = build_matrix(size, "A"), build_matrix(size, "B")
+    c = build_matrix(size, "C")
+    serial_matmul_tiled(size, a, b, c)
+    dense = tiled_to_dense(size, a) @ tiled_to_dense(size, b)
+    np.testing.assert_allclose(tiled_to_dense(size, c), dense, rtol=1e-4)
+
+
+def test_size_validation():
+    with pytest.raises(ValueError):
+        MatmulSize(n=100, bs=16)
+
+
+def test_cuda_single_gpu_matches_serial(reference):
+    env = Environment()
+    machine = build_multi_gpu_node(env, num_gpus=1)
+    res = run_cuda(machine, TEST_MATMUL, verify=True)
+    np.testing.assert_allclose(res.output["c"], reference, rtol=1e-4)
+    assert res.makespan > 0
+    assert res.metric > 0
+
+
+@pytest.mark.parametrize("num_gpus", [1, 2, 4])
+def test_ompss_multigpu_matches_serial(num_gpus, reference):
+    env = Environment()
+    machine = build_multi_gpu_node(env, num_gpus=num_gpus)
+    res = run_ompss(machine, TEST_MATMUL, verify=True)
+    np.testing.assert_allclose(res.output["c"], reference, rtol=1e-4)
+
+
+@pytest.mark.parametrize("policy", ["nocache", "wt", "wb"])
+def test_ompss_cache_policies_all_correct(policy, reference):
+    env = Environment()
+    machine = build_multi_gpu_node(env, num_gpus=2)
+    res = run_ompss(machine, TEST_MATMUL,
+                    config=RuntimeConfig(cache_policy=policy), verify=True)
+    np.testing.assert_allclose(res.output["c"], reference, rtol=1e-4)
+
+
+@pytest.mark.parametrize("sched", ["bf", "default", "affinity"])
+def test_ompss_schedulers_all_correct(sched, reference):
+    env = Environment()
+    machine = build_multi_gpu_node(env, num_gpus=4)
+    res = run_ompss(machine, TEST_MATMUL,
+                    config=RuntimeConfig(scheduler=sched), verify=True)
+    np.testing.assert_allclose(res.output["c"], reference, rtol=1e-4)
+
+
+@pytest.mark.parametrize("nodes", [2, 4])
+def test_ompss_cluster_matches_serial(nodes, reference):
+    env = Environment()
+    machine = build_gpu_cluster(env, num_nodes=nodes)
+    res = run_ompss(machine, TEST_MATMUL, verify=True)
+    np.testing.assert_allclose(res.output["c"], reference, rtol=1e-4)
+
+
+@pytest.mark.parametrize("init", ["smp", "gpu"])
+def test_ompss_cluster_parallel_init_matches_serial(init, reference):
+    env = Environment()
+    machine = build_gpu_cluster(env, num_nodes=2)
+    res = run_ompss(machine, TEST_MATMUL, init=init, verify=True)
+    np.testing.assert_allclose(res.output["c"], reference, rtol=1e-4)
+
+
+def test_ompss_mtos_routing_matches_serial(reference):
+    env = Environment()
+    machine = build_gpu_cluster(env, num_nodes=4)
+    res = run_ompss(machine, TEST_MATMUL, init="smp",
+                    config=RuntimeConfig(slave_to_slave=False), verify=True)
+    np.testing.assert_allclose(res.output["c"], reference, rtol=1e-4)
+
+
+def test_ompss_presend_matches_serial(reference):
+    env = Environment()
+    machine = build_gpu_cluster(env, num_nodes=2)
+    res = run_ompss(machine, TEST_MATMUL,
+                    config=RuntimeConfig(presend=2), verify=True)
+    np.testing.assert_allclose(res.output["c"], reference, rtol=1e-4)
+
+
+def test_ompss_overlap_prefetch_matches_serial(reference):
+    env = Environment()
+    machine = build_multi_gpu_node(env, num_gpus=2)
+    res = run_ompss(machine, TEST_MATMUL,
+                    config=RuntimeConfig(overlap=True, prefetch=True),
+                    verify=True)
+    np.testing.assert_allclose(res.output["c"], reference, rtol=1e-4)
+
+
+def test_process_grid_factorizations():
+    assert process_grid(1) == (1, 1)
+    assert process_grid(2) == (2, 1)
+    assert process_grid(4) == (2, 2)
+    assert process_grid(8) == (4, 2)
+
+
+@pytest.mark.parametrize("nodes", [1, 2, 4])
+def test_mpi_cuda_summa_matches_serial(nodes, reference):
+    env = Environment()
+    machine = (build_gpu_cluster(env, num_nodes=nodes) if nodes > 1
+               else build_multi_gpu_node(env, num_gpus=1))
+    res = run_mpi_cuda(machine, TEST_MATMUL, verify=True)
+    np.testing.assert_allclose(res.output["c"], reference, rtol=1e-4)
+
+
+def test_ompss_perf_mode_runs_without_data():
+    env = Environment()
+    machine = build_multi_gpu_node(env, num_gpus=4)
+    res = run_ompss(machine, MatmulSize(n=2048, bs=512),
+                    config=RuntimeConfig(functional=False))
+    assert res.makespan > 0
+    assert res.metric > 0
+    assert res.output is None

@@ -1,0 +1,108 @@
+"""Functional correctness tests for the N-Body application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.nbody import (
+    NBodySize,
+    TEST_NBODY,
+    initial_state,
+    nbody_step_reference,
+    nbody_update_block,
+    run_cuda,
+    run_mpi_cuda,
+    run_ompss,
+    run_serial,
+)
+from repro.hardware import build_gpu_cluster, build_multi_gpu_node
+from repro.runtime import RuntimeConfig
+from repro.sim import Environment
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return run_serial(TEST_NBODY).output["pos"]
+
+
+def test_size_validation():
+    with pytest.raises(ValueError):
+        NBodySize(n=100, blocks=3)
+
+
+def test_block_update_matches_whole_system_step():
+    size = TEST_NBODY
+    pos, vel = initial_state(size)
+    vel_blocked = vel.copy()
+    expected = nbody_step_reference(pos, vel)
+    out = np.empty_like(pos)
+    be = size.block_elements
+    blocks = [pos[b * be:(b + 1) * be] for b in range(size.blocks)]
+    for b in range(size.blocks):
+        nbody_update_block(blocks, b * size.block_bodies, size.block_bodies,
+                           vel_blocked[b * be:(b + 1) * be],
+                           out[b * be:(b + 1) * be])
+    np.testing.assert_allclose(out, expected, rtol=1e-5, atol=1e-6)
+    np.testing.assert_allclose(vel_blocked, vel, rtol=1e-5, atol=1e-6)
+
+
+def test_masses_preserved():
+    size = TEST_NBODY
+    pos, _vel = initial_state(size)
+    masses = pos.reshape(-1, 4)[:, 3].copy()
+    after = run_serial(size).output["pos"].reshape(-1, 4)[:, 3]
+    np.testing.assert_array_equal(after, masses)
+
+
+def test_cuda_matches_serial(reference):
+    env = Environment()
+    machine = build_multi_gpu_node(env, num_gpus=1)
+    res = run_cuda(machine, TEST_NBODY, verify=True)
+    np.testing.assert_allclose(res.output["pos"], reference,
+                               rtol=1e-5, atol=1e-6)
+
+
+@pytest.mark.parametrize("num_gpus", [1, 2, 4])
+def test_ompss_multigpu_matches_serial(num_gpus, reference):
+    env = Environment()
+    machine = build_multi_gpu_node(env, num_gpus=num_gpus)
+    res = run_ompss(machine, TEST_NBODY, verify=True)
+    np.testing.assert_allclose(res.output["pos"], reference,
+                               rtol=1e-5, atol=1e-6)
+
+
+@pytest.mark.parametrize("policy", ["nocache", "wt", "wb"])
+def test_ompss_cache_policies_correct(policy, reference):
+    env = Environment()
+    machine = build_multi_gpu_node(env, num_gpus=4)
+    res = run_ompss(machine, TEST_NBODY,
+                    config=RuntimeConfig(cache_policy=policy), verify=True)
+    np.testing.assert_allclose(res.output["pos"], reference,
+                               rtol=1e-5, atol=1e-6)
+
+
+@pytest.mark.parametrize("nodes", [2, 4])
+def test_ompss_cluster_matches_serial(nodes, reference):
+    env = Environment()
+    machine = build_gpu_cluster(env, num_nodes=nodes)
+    res = run_ompss(machine, TEST_NBODY, verify=True)
+    np.testing.assert_allclose(res.output["pos"], reference,
+                               rtol=1e-5, atol=1e-6)
+
+
+@pytest.mark.parametrize("nodes", [1, 2, 4])
+def test_mpi_cuda_matches_serial(nodes, reference):
+    env = Environment()
+    machine = (build_gpu_cluster(env, num_nodes=nodes) if nodes > 1
+               else build_multi_gpu_node(env, num_gpus=1))
+    res = run_mpi_cuda(machine, TEST_NBODY, verify=True)
+    np.testing.assert_allclose(res.output["pos"], reference,
+                               rtol=1e-5, atol=1e-6)
+
+
+def test_perf_mode_runs():
+    env = Environment()
+    machine = build_multi_gpu_node(env, num_gpus=4)
+    res = run_ompss(machine, NBodySize(n=20000, blocks=4, iters=2),
+                    config=RuntimeConfig(functional=False))
+    assert res.makespan > 0
+    assert res.metric > 0

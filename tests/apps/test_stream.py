@@ -1,0 +1,103 @@
+"""Functional correctness tests for the STREAM application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.stream import (
+    TEST_STREAM,
+    StreamSize,
+    paper_stream_size,
+    run_cuda,
+    run_mpi_cuda,
+    run_ompss,
+    run_serial,
+    stream_bytes,
+)
+from repro.hardware import build_gpu_cluster, build_multi_gpu_node
+from repro.runtime import RuntimeConfig
+from repro.sim import Environment
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return run_serial(TEST_STREAM).output
+
+
+def assert_same(output, reference):
+    for key in ("a", "b", "c"):
+        np.testing.assert_allclose(output[key], reference[key], rtol=1e-12)
+
+
+def test_size_validation():
+    with pytest.raises(ValueError):
+        StreamSize(n=100, bsize=16)
+
+
+def test_paper_size_is_768mb_per_gpu():
+    size = paper_stream_size(num_gpus=4)
+    assert 3 * size.vector_bytes == pytest.approx(4 * 768 * 1024 * 1024,
+                                                  rel=0.01)
+    assert size.n % size.bsize == 0
+
+
+def test_stream_bytes_accounting():
+    size = TEST_STREAM
+    assert stream_bytes(size) == 10 * 8 * size.n * size.ntimes
+
+
+def test_cuda_matches_serial(reference):
+    env = Environment()
+    machine = build_multi_gpu_node(env, num_gpus=1)
+    res = run_cuda(machine, TEST_STREAM, verify=True)
+    assert_same(res.output, reference)
+    assert res.metric > 0
+
+
+@pytest.mark.parametrize("num_gpus", [1, 2, 4])
+def test_ompss_multigpu_matches_serial(num_gpus, reference):
+    env = Environment()
+    machine = build_multi_gpu_node(env, num_gpus=num_gpus)
+    res = run_ompss(machine, TEST_STREAM, verify=True)
+    assert_same(res.output, reference)
+
+
+@pytest.mark.parametrize("policy", ["nocache", "wt", "wb"])
+def test_ompss_cache_policies_correct(policy, reference):
+    env = Environment()
+    machine = build_multi_gpu_node(env, num_gpus=2)
+    res = run_ompss(machine, TEST_STREAM,
+                    config=RuntimeConfig(cache_policy=policy), verify=True)
+    assert_same(res.output, reference)
+
+
+@pytest.mark.parametrize("nodes", [2, 4])
+def test_ompss_cluster_matches_serial(nodes, reference):
+    env = Environment()
+    machine = build_gpu_cluster(env, num_nodes=nodes)
+    res = run_ompss(machine, TEST_STREAM, verify=True)
+    assert_same(res.output, reference)
+
+
+@pytest.mark.parametrize("nodes", [1, 2, 4])
+def test_mpi_cuda_matches_serial(nodes, reference):
+    env = Environment()
+    machine = (build_gpu_cluster(env, num_nodes=nodes) if nodes > 1
+               else build_multi_gpu_node(env, num_gpus=1))
+    res = run_mpi_cuda(machine, TEST_STREAM, verify=True)
+    assert_same(res.output, reference)
+
+
+def test_wb_beats_wt_and_nocache_on_stream():
+    """The Fig. 6 shape at small scale: write-back avoids the per-write
+    PCIe traffic that cripples write-through and no-cache."""
+    results = {}
+    for policy in ("nocache", "wt", "wb"):
+        env = Environment()
+        machine = build_multi_gpu_node(env, num_gpus=2)
+        res = run_ompss(machine, StreamSize(n=2 ** 20, bsize=2 ** 16,
+                                            ntimes=4),
+                        config=RuntimeConfig(cache_policy=policy,
+                                             functional=False))
+        results[policy] = res.metric
+    assert results["wb"] > results["wt"]
+    assert results["wb"] > results["nocache"]

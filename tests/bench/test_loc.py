@@ -1,0 +1,72 @@
+"""Tests for the useful-lines counter behind Table I."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.loc import APP_VERSION_FILES, count_useful_lines, table1_rows
+
+
+def write_module(tmp_path: Path, source: str) -> Path:
+    path = tmp_path / "mod.py"
+    path.write_text(source)
+    return path
+
+
+def test_blank_lines_not_counted(tmp_path):
+    path = write_module(tmp_path, "x = 1\n\n\ny = 2\n")
+    assert count_useful_lines(path) == 2
+
+
+def test_comments_not_counted(tmp_path):
+    path = write_module(tmp_path, "# a comment\nx = 1  # trailing\n# more\n")
+    assert count_useful_lines(path) == 1
+
+
+def test_docstrings_not_counted(tmp_path):
+    source = '"""Module docstring\nspanning lines."""\n\n' \
+             'def f():\n    """Doc."""\n    return 1\n'
+    path = write_module(tmp_path, source)
+    # def f() and return 1 only.
+    assert count_useful_lines(path) == 2
+
+
+def test_class_docstrings_not_counted(tmp_path):
+    source = 'class C:\n    """Doc\n    more doc."""\n    x = 1\n'
+    path = write_module(tmp_path, source)
+    assert count_useful_lines(path) == 2
+
+
+def test_regular_strings_are_counted(tmp_path):
+    path = write_module(tmp_path, 'x = "not a docstring"\ny = f(\n    "s")\n')
+    assert count_useful_lines(path) == 3
+
+
+def test_multiline_statement_counts_each_line(tmp_path):
+    path = write_module(tmp_path, "x = (1 +\n     2 +\n     3)\n")
+    assert count_useful_lines(path) == 3
+
+
+def test_all_app_version_files_exist():
+    for app, versions in APP_VERSION_FILES.items():
+        for version, path in versions.items():
+            assert path.exists(), f"{app}/{version} missing: {path}"
+
+
+def test_table1_rows_structure():
+    rows = table1_rows()
+    assert {row["app"] for row in rows} == {"matmul", "stream", "perlin",
+                                            "nbody"}
+    for row in rows:
+        assert row["serial"] > 0
+        for version in ("cuda", "mpi_cuda", "ompss"):
+            assert row[version] > row["serial"]
+            expected_pct = 100.0 * (row[version] - row["serial"]) \
+                / row["serial"]
+            assert row[f"{version}_pct"] == pytest.approx(expected_pct)
+
+
+def test_table1_mpi_always_largest():
+    for row in table1_rows():
+        assert row["mpi_cuda"] > row["cuda"]
+        assert row["mpi_cuda"] > row["ompss"]

@@ -1,0 +1,72 @@
+"""Tests for the hardware specification catalog."""
+
+import pytest
+
+from repro.hardware import (
+    CLUSTER_NODE,
+    GB,
+    GTX_480,
+    MULTI_GPU_NODE,
+    QDR_INFINIBAND,
+    TESLA_S2050,
+    ClusterSpec,
+    gpu_cluster_spec,
+)
+
+
+def test_tesla_s2050_matches_paper():
+    assert TESLA_S2050.mem_capacity == int(2.62 * GB)
+    assert TESLA_S2050.copy_engines == 2
+
+
+def test_gtx480_matches_paper():
+    assert GTX_480.peak_sp_gflops == pytest.approx(1345.0)
+    assert GTX_480.mem_capacity == int(1.5 * GB)
+    assert GTX_480.mem_bandwidth == pytest.approx(177.4e9)
+    assert GTX_480.copy_engines == 1
+
+
+def test_sgemm_sustained_below_peak():
+    for spec in (TESLA_S2050, GTX_480):
+        assert 0 < spec.sgemm_gflops < spec.peak_sp_gflops
+
+
+def test_multi_gpu_node_has_four_gpus_and_eight_cores():
+    assert len(MULTI_GPU_NODE.gpus) == 4
+    assert MULTI_GPU_NODE.cpu.cores == 8
+    assert MULTI_GPU_NODE.host_mem_capacity == int(15.66 * GB)
+
+
+def test_cluster_node_has_one_gtx480():
+    assert CLUSTER_NODE.gpus == (GTX_480,)
+    assert CLUSTER_NODE.host_mem_capacity == 25 * GB
+
+
+def test_with_gpus_subsets_node():
+    two = MULTI_GPU_NODE.with_gpus(2)
+    assert len(two.gpus) == 2
+    assert two.cpu is MULTI_GPU_NODE.cpu
+
+
+def test_with_gpus_bounds_checked():
+    with pytest.raises(ValueError):
+        MULTI_GPU_NODE.with_gpus(0)
+    with pytest.raises(ValueError):
+        MULTI_GPU_NODE.with_gpus(5)
+
+
+def test_qdr_ib_effective_bandwidth():
+    # Paper quotes an 8 Gbit/s peak; effective must not exceed it.
+    assert QDR_INFINIBAND.bandwidth <= 8e9 / 8 * 1.01
+
+
+def test_gpu_cluster_spec_counts_nodes():
+    spec = gpu_cluster_spec(8)
+    assert spec.num_nodes == 8
+    assert spec.node is CLUSTER_NODE
+
+
+def test_cluster_spec_rejects_zero_nodes():
+    with pytest.raises(ValueError):
+        ClusterSpec(name="bad", node=CLUSTER_NODE, num_nodes=0,
+                    nic=QDR_INFINIBAND)

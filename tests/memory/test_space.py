@@ -1,0 +1,136 @@
+"""Tests for address spaces (functional data plane)."""
+
+import numpy as np
+import pytest
+
+from repro.memory import DataObject, DeviceSpace, HostSpace, Region
+
+
+def make_canonical(functional=True):
+    return HostSpace("master.host", node_index=0, functional=functional,
+                     canonical=True)
+
+
+def test_canonical_registration_with_initial_data():
+    space = make_canonical()
+    obj = DataObject(name="v", num_elements=4)
+    space.register_object(obj, initial=np.array([1, 2, 3, 4], dtype=np.float32))
+    np.testing.assert_array_equal(space.read(obj.whole), [1, 2, 3, 4])
+
+
+def test_canonical_registration_zero_fills_by_default():
+    space = make_canonical()
+    obj = DataObject(name="z", num_elements=3)
+    space.register_object(obj)
+    np.testing.assert_array_equal(space.read(obj.whole), [0, 0, 0])
+
+
+def test_registration_size_mismatch_rejected():
+    space = make_canonical()
+    obj = DataObject(name="v", num_elements=4)
+    with pytest.raises(ValueError):
+        space.register_object(obj, initial=np.zeros(5, dtype=np.float32))
+
+
+def test_non_canonical_cannot_register():
+    space = HostSpace("slave.host", node_index=1, functional=True)
+    obj = DataObject(name="v", num_elements=4)
+    with pytest.raises(RuntimeError):
+        space.register_object(obj)
+
+
+def test_canonical_subregion_read_is_view():
+    space = make_canonical()
+    obj = DataObject(name="v", num_elements=10)
+    space.register_object(obj, initial=np.arange(10, dtype=np.float32))
+    sub = space.read(Region(obj, 2, 3))
+    np.testing.assert_array_equal(sub, [2, 3, 4])
+    # Writing through the view updates canonical storage (it is a view).
+    sub[:] = 0
+    np.testing.assert_array_equal(space.read(obj.whole)[2:5], [0, 0, 0])
+
+
+def test_canonical_write_region():
+    space = make_canonical()
+    obj = DataObject(name="v", num_elements=6)
+    space.register_object(obj)
+    space.write(Region(obj, 3, 3), np.array([7, 8, 9], dtype=np.float32))
+    np.testing.assert_array_equal(space.read(obj.whole),
+                                  [0, 0, 0, 7, 8, 9])
+
+
+def test_device_space_roundtrip():
+    dev = DeviceSpace("gpu0", node_index=0, device_index=0, functional=True)
+    obj = DataObject(name="v", num_elements=4)
+    region = obj.whole
+    dev.write(region, np.array([5, 6, 7, 8], dtype=np.float32))
+    np.testing.assert_array_equal(dev.read(region), [5, 6, 7, 8])
+    assert dev.holds_buffer(region)
+
+
+def test_device_write_copies_not_aliases():
+    dev = DeviceSpace("gpu0", node_index=0, device_index=0, functional=True)
+    obj = DataObject(name="v", num_elements=3)
+    src = np.array([1, 2, 3], dtype=np.float32)
+    dev.write(obj.whole, src)
+    src[:] = 99
+    np.testing.assert_array_equal(dev.read(obj.whole), [1, 2, 3])
+
+
+def test_device_writable_allocates_zeroed_buffer():
+    dev = DeviceSpace("gpu0", node_index=0, device_index=0, functional=True)
+    obj = DataObject(name="v", num_elements=3)
+    buf = dev.writable(obj.whole)
+    np.testing.assert_array_equal(buf, [0, 0, 0])
+    buf[:] = 4
+    np.testing.assert_array_equal(dev.read(obj.whole), [4, 4, 4])
+
+
+def test_drop_removes_device_copy():
+    dev = DeviceSpace("gpu0", node_index=0, device_index=0, functional=True)
+    obj = DataObject(name="v", num_elements=3)
+    dev.write(obj.whole, np.zeros(3, dtype=np.float32))
+    dev.drop(obj.whole)
+    assert not dev.holds_buffer(obj.whole)
+    with pytest.raises(KeyError):
+        dev.read(obj.whole)
+
+
+def test_canonical_drop_is_noop():
+    space = make_canonical()
+    obj = DataObject(name="v", num_elements=3)
+    space.register_object(obj)
+    space.drop(obj.whole)
+    assert space.holds_buffer(obj.whole)
+
+
+def test_slave_host_space_holds_region_copies():
+    space = HostSpace("slave.host", node_index=1, functional=True)
+    obj = DataObject(name="v", num_elements=4)
+    region = Region(obj, 0, 2)
+    space.write(region, np.array([1, 2], dtype=np.float32))
+    np.testing.assert_array_equal(space.read(region), [1, 2])
+    space.drop(region)
+    assert not space.holds_buffer(region)
+
+
+def test_performance_mode_write_is_noop_and_read_rejected():
+    space = make_canonical(functional=False)
+    obj = DataObject(name="v", num_elements=4)
+    space.register_object(obj)  # no storage materialized
+    space.write(obj.whole, np.zeros(4))  # silently ignored
+    with pytest.raises(RuntimeError):
+        space.read(obj.whole)
+    dev = DeviceSpace("gpu0", node_index=0, device_index=0, functional=False)
+    dev.write(obj.whole, np.zeros(4))
+    with pytest.raises(RuntimeError):
+        dev.read(obj.whole)
+    with pytest.raises(RuntimeError):
+        dev.writable(obj.whole)
+
+
+def test_write_casts_dtype():
+    dev = DeviceSpace("gpu0", node_index=0, device_index=0, functional=True)
+    obj = DataObject(name="v", num_elements=3, dtype=np.float32)
+    dev.write(obj.whole, np.array([1, 2, 3], dtype=np.float64))
+    assert dev.read(obj.whole).dtype == np.float32

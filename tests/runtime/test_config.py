@@ -1,0 +1,78 @@
+"""Tests for RuntimeConfig validation and helpers."""
+
+import pytest
+
+from repro.memory import CachePolicy
+from repro.runtime import RuntimeConfig
+
+
+def test_defaults_match_paper():
+    cfg = RuntimeConfig()
+    # "write-back, being this last one the default policy"
+    assert cfg.cache_policy is CachePolicy.WRITE_BACK
+    # "dependencies (default in the charts, as is the default scheduling
+    # policy of the runtime)"
+    assert cfg.scheduler == "default"
+    # "Data overlapping is disabled by default"
+    assert not cfg.overlap
+
+
+def test_policy_string_coerced():
+    assert RuntimeConfig(cache_policy="wt").cache_policy \
+        is CachePolicy.WRITE_THROUGH
+
+
+def test_unknown_scheduler_rejected():
+    with pytest.raises(ValueError, match="unknown scheduler"):
+        RuntimeConfig(scheduler="rr")
+
+
+def test_negative_presend_rejected():
+    with pytest.raises(ValueError):
+        RuntimeConfig(presend=-1)
+
+
+def test_gpu_cache_fraction_bounds():
+    with pytest.raises(ValueError):
+        RuntimeConfig(gpu_cache_fraction=0.0)
+    with pytest.raises(ValueError):
+        RuntimeConfig(gpu_cache_fraction=1.5)
+    RuntimeConfig(gpu_cache_fraction=1.0)  # boundary ok
+
+
+def test_smp_workers_validation():
+    with pytest.raises(ValueError):
+        RuntimeConfig(smp_workers=-1)
+
+
+def test_jitter_bounds():
+    with pytest.raises(ValueError):
+        RuntimeConfig(kernel_jitter=1.0)
+    with pytest.raises(ValueError):
+        RuntimeConfig(kernel_jitter=-0.1)
+
+
+def test_task_overhead_validation():
+    with pytest.raises(ValueError):
+        RuntimeConfig(task_overhead=-1e-6)
+
+
+def test_rr_chunk_validation():
+    with pytest.raises(ValueError):
+        RuntimeConfig(rr_chunk=0)
+
+
+def test_with_replaces_fields():
+    base = RuntimeConfig()
+    changed = base.with_(scheduler="affinity", presend=4)
+    assert changed.scheduler == "affinity"
+    assert changed.presend == 4
+    assert base.scheduler == "default"  # original untouched (frozen)
+
+
+def test_describe_labels():
+    assert RuntimeConfig().describe() == "wb-default-stos"
+    cfg = RuntimeConfig(cache_policy="nocache", scheduler="bf",
+                        overlap=True, prefetch=True, presend=2,
+                        slave_to_slave=False)
+    assert cfg.describe() == "nocache-bf-ovl-pf-ps2-mtos"

@@ -1,0 +1,284 @@
+"""Unit tests for the three scheduling policies."""
+
+import pytest
+
+from repro.memory import DataObject, Directory, DeviceSpace, HostSpace, Region
+from repro.runtime import Access, Direction, Task
+from repro.runtime.scheduler import (
+    AffinityScheduler,
+    BreadthFirstScheduler,
+    DependencyAwareScheduler,
+    make_scheduler,
+)
+
+
+class FakeWorker:
+    def __init__(self, kind, node_index, space, devices=("smp", "cuda")):
+        self.kind = kind
+        self.node_index = node_index
+        self.space = space
+        self._devices = devices
+
+    def accepts(self, task):
+        if self.kind == "node":
+            return True
+        return task.device in self._devices
+
+
+def make_world(num_gpus=2, num_nodes=1):
+    host = HostSpace("n0.host", 0, functional=False, canonical=True)
+    directory = Directory(home=host)
+    gpu_spaces = [DeviceSpace(f"gpu{i}", 0, i, functional=False)
+                  for i in range(num_gpus)]
+    gpu_workers = [FakeWorker("gpu", 0, s, devices=("cuda",))
+                   for s in gpu_spaces]
+    smp_worker = FakeWorker("smp", 0, host, devices=("smp",))
+    proxies = [FakeWorker("node", i, HostSpace(f"n{i}.host", i, False))
+               for i in range(1, num_nodes)]
+    return host, directory, gpu_workers, smp_worker, proxies
+
+
+def cuda_task(name, *accesses):
+    from repro.cuda import KernelSpec
+
+    return Task(name=name, device="cuda",
+                kernel=KernelSpec(name=name, cost=lambda spec: 0.0),
+                accesses=tuple(accesses))
+
+
+def smp_task(name, *accesses):
+    return Task(name=name, device="smp", accesses=tuple(accesses))
+
+
+def test_make_scheduler_dispatch():
+    host = HostSpace("h", 0, False, canonical=True)
+    d = Directory(home=host)
+    assert isinstance(make_scheduler("bf", lambda: None, d),
+                      BreadthFirstScheduler)
+    assert isinstance(make_scheduler("default", lambda: None, d),
+                      DependencyAwareScheduler)
+    assert isinstance(make_scheduler("affinity", lambda: None, d),
+                      AffinityScheduler)
+    with pytest.raises(ValueError):
+        make_scheduler("random", lambda: None, d)
+
+
+def test_bf_fifo_order():
+    host, d, gpus, smp, _ = make_world()
+    sched = BreadthFirstScheduler(lambda: None)
+    for w in gpus + [smp]:
+        sched.register_worker(w)
+    o = DataObject(name="x", num_elements=100)
+    t1 = cuda_task("t1", Access(Region(o, 0, 10), Direction.OUT))
+    t2 = cuda_task("t2", Access(Region(o, 10, 10), Direction.OUT))
+    sched.submit(t1)
+    sched.submit(t2)
+    assert sched.next_task(gpus[0]) is t1
+    assert sched.next_task(gpus[1]) is t2
+    assert sched.next_task(gpus[0]) is None
+
+
+def test_device_constraint_respected():
+    host, d, gpus, smp, _ = make_world()
+    sched = BreadthFirstScheduler(lambda: None)
+    for w in gpus + [smp]:
+        sched.register_worker(w)
+    o = DataObject(name="x", num_elements=100)
+    ct = cuda_task("c", Access(Region(o, 0, 10), Direction.OUT))
+    st = smp_task("s", Access(Region(o, 10, 10), Direction.OUT))
+    sched.submit(ct)
+    sched.submit(st)
+    # SMP worker skips the cuda task and takes the smp one.
+    assert sched.next_task(smp) is st
+    assert sched.next_task(gpus[0]) is ct
+
+
+def test_notify_called_on_submit():
+    calls = []
+    sched = BreadthFirstScheduler(lambda: calls.append(1))
+    o = DataObject(name="x", num_elements=10)
+    sched.submit(smp_task("t", Access(o.whole, Direction.OUT)))
+    assert calls == [1]
+
+
+def test_dep_aware_successor_goes_to_finishing_worker():
+    host, d, gpus, smp, _ = make_world()
+    sched = DependencyAwareScheduler(lambda: None)
+    for w in gpus + [smp]:
+        sched.register_worker(w)
+    o = DataObject(name="x", num_elements=100)
+    t1 = cuda_task("t1", Access(o.whole, Direction.INOUT))
+    t2 = cuda_task("t2", Access(o.whole, Direction.INOUT))
+    sched.submit(t1)
+    worker = gpus[1]
+    assert sched.next_task(worker) is t1
+    sched.task_finished(t1, worker, [t2])
+    # Successor waits in the finisher's hint queue, served before global.
+    other = cuda_task("t3", Access(Region(o, 0, 1), Direction.OUT))
+    sched.submit(other)
+    assert sched.next_task(worker) is t2
+    assert sched.next_task(worker) is other
+
+
+def test_dep_aware_hints_drained_by_others_as_last_resort():
+    host, d, gpus, smp, _ = make_world()
+    sched = DependencyAwareScheduler(lambda: None)
+    for w in gpus + [smp]:
+        sched.register_worker(w)
+    o = DataObject(name="x", num_elements=100)
+    t1 = cuda_task("t1", Access(o.whole, Direction.INOUT))
+    t2 = cuda_task("t2", Access(o.whole, Direction.INOUT))
+    sched.submit(t1)
+    assert sched.next_task(gpus[0]) is t1
+    sched.task_finished(t1, gpus[0], [t2])
+    # gpu0 is busy; gpu1 eventually takes the hinted task (work conserving).
+    assert sched.next_task(gpus[1]) is t2
+
+
+def test_dep_aware_incompatible_successor_goes_global():
+    host, d, gpus, smp, _ = make_world()
+    sched = DependencyAwareScheduler(lambda: None)
+    for w in gpus + [smp]:
+        sched.register_worker(w)
+    o = DataObject(name="x", num_elements=100)
+    t_gpu = cuda_task("g", Access(o.whole, Direction.INOUT))
+    t_smp = smp_task("s", Access(o.whole, Direction.INOUT))
+    sched.submit(t_gpu)
+    assert sched.next_task(gpus[0]) is t_gpu
+    sched.task_finished(t_gpu, gpus[0], [t_smp])
+    # The smp successor cannot run on the gpu worker: global queue.
+    assert sched.next_task(smp) is t_smp
+
+
+def test_affinity_places_by_resident_bytes():
+    host, d, gpus, smp, _ = make_world()
+    sched = AffinityScheduler(lambda: None, d)
+    for w in gpus + [smp]:
+        sched.register_worker(w)
+    o = DataObject(name="x", num_elements=100)
+    region = o.whole
+    # Make gpu1's space hold the current version.
+    d.record_write(region, gpus[1].space)
+    t = cuda_task("t", Access(region, Direction.IN))
+    sched.submit(t)
+    # gpu0 polls first but the task was placed on gpu1's local queue.
+    assert sched.next_task(gpus[1]) is t
+
+
+def test_affinity_write_weight_prefers_written_region_holder():
+    host, d, gpus, smp, _ = make_world()
+    sched = AffinityScheduler(lambda: None, d)
+    for w in gpus + [smp]:
+        sched.register_worker(w)
+    o = DataObject(name="x", num_elements=200)
+    r_in = Region(o, 0, 100)
+    r_out = Region(o, 100, 100)
+    d.record_write(r_in, gpus[0].space)    # input lives on gpu0
+    d.record_write(r_out, gpus[1].space)   # inout lives on gpu1
+    t = cuda_task("t", Access(r_in, Direction.IN),
+                  Access(r_out, Direction.INOUT))
+    sched.submit(t)
+    # Equal sizes, but the written region weighs double: goes to gpu1.
+    assert sched.next_task(gpus[1]) is t
+
+
+def test_affinity_virgin_output_exerts_no_pull():
+    host, d, gpus, smp, _ = make_world()
+    sched = AffinityScheduler(lambda: None, d)
+    for w in gpus + [smp]:
+        sched.register_worker(w)
+    o = DataObject(name="x", num_elements=100)
+    t = cuda_task("t", Access(o.whole, Direction.OUT))
+    sched.submit(t)
+    # Never-written output: no affinity anywhere -> global queue, any
+    # worker may take it.
+    assert sched.next_task(gpus[0]) is t
+
+
+def test_affinity_stealing_within_node():
+    host, d, gpus, smp, _ = make_world()
+    sched = AffinityScheduler(lambda: None, d, steal=True)
+    for w in gpus + [smp]:
+        sched.register_worker(w)
+    o = DataObject(name="x", num_elements=100)
+    d.record_write(o.whole, gpus[0].space)
+    t = cuda_task("t", Access(o.whole, Direction.IN))
+    sched.submit(t)
+    # Placed on gpu0's queue, but gpu1 (same node) may steal it.
+    assert sched.next_task(gpus[1]) is t
+    assert sched.stolen == 1
+
+
+def test_affinity_steal_disabled():
+    host, d, gpus, smp, _ = make_world()
+    sched = AffinityScheduler(lambda: None, d, steal=False)
+    for w in gpus + [smp]:
+        sched.register_worker(w)
+    o = DataObject(name="x", num_elements=100)
+    d.record_write(o.whole, gpus[0].space)
+    t = cuda_task("t", Access(o.whole, Direction.IN))
+    sched.submit(t)
+    assert sched.next_task(gpus[1]) is None
+    assert sched.next_task(gpus[0]) is t
+
+
+def test_affinity_no_steal_across_nodes():
+    host, d, gpus, smp, proxies = make_world(num_nodes=3)
+    sched = AffinityScheduler(lambda: None, d, steal=True)
+    for w in gpus + [smp] + proxies:
+        sched.register_worker(w)
+    o = DataObject(name="x", num_elements=100)
+    d.record_write(o.whole, proxies[0].space)
+    t = smp_task("t", Access(o.whole, Direction.IN))
+    sched.submit(t)
+    # Placed on the node-1 proxy; master workers must not steal it.
+    assert sched.next_task(smp) is None
+    assert sched.next_task(gpus[0]) is None
+
+
+def test_affinity_round_robin_over_node_domains():
+    host, d, gpus, smp, proxies = make_world(num_nodes=3)
+    sched = AffinityScheduler(lambda: None, d, steal=True, rr_chunk=1)
+    for w in gpus + [smp] + proxies:
+        sched.register_worker(w)
+    o = DataObject(name="x", num_elements=300)
+    tasks = [smp_task(f"t{i}", Access(Region(o, i * 10, 10), Direction.OUT))
+             for i in range(6)]
+    for t in tasks:
+        sched.submit(t)
+    # 3 domains (master + 2 proxies): tasks cycle master, n1, n2, master...
+    assert sched.next_task(smp) is tasks[0]
+    assert sched.next_task(proxies[0]) is tasks[1]
+    assert sched.next_task(proxies[1]) is tasks[2]
+    assert sched.next_task(smp) is tasks[3]
+
+
+def test_affinity_rr_chunking():
+    host, d, gpus, smp, proxies = make_world(num_nodes=2)
+    sched = AffinityScheduler(lambda: None, d, rr_chunk=2)
+    for w in gpus + [smp] + proxies:
+        sched.register_worker(w)
+    o = DataObject(name="x", num_elements=400)
+    tasks = [smp_task(f"t{i}", Access(Region(o, i * 10, 10), Direction.OUT))
+             for i in range(4)]
+    for t in tasks:
+        sched.submit(t)
+    # chunk=2 over 2 domains: t0,t1 -> master; t2,t3 -> node1.
+    assert sched.next_task(smp) is tasks[0]
+    assert sched.next_task(smp) is tasks[1]
+    assert sched.next_task(smp) is None
+    assert sched.next_task(proxies[0]) is tasks[2]
+    assert sched.next_task(proxies[0]) is tasks[3]
+
+
+def test_pending_counts():
+    host, d, gpus, smp, _ = make_world()
+    for name in ("bf", "default", "affinity"):
+        sched = make_scheduler(name, lambda: None, d)
+        for w in gpus + [smp]:
+            sched.register_worker(w)
+        o = DataObject(name=f"x-{name}", num_elements=100)
+        sched.submit(smp_task("t", Access(o.whole, Direction.OUT)))
+        assert sched.pending == 1
+        assert sched.next_task(smp) is not None
+        assert sched.pending == 0

@@ -1,0 +1,131 @@
+"""End-to-end smoke tests for the runtime across machine shapes."""
+
+import numpy as np
+import pytest
+
+from repro.cuda import KernelSpec
+from repro.hardware import build_gpu_cluster, build_multi_gpu_node
+from repro.runtime import Access, Direction, Runtime, RuntimeConfig, Task
+from repro.sim import Environment
+
+
+def scale_kernel():
+    def body(src, dst, factor):
+        dst[:] = src * factor
+    return KernelSpec(name="scale", cost=lambda spec, n: n * 1e-9, func=body)
+
+
+def add_kernel():
+    def body(a, b, c):
+        c[:] = a + b
+    return KernelSpec(name="add", cost=lambda spec, n: n * 1e-9, func=body)
+
+
+def make_rt(machine_kind="gpu1", **config_kwargs):
+    env = Environment()
+    if machine_kind == "gpu1":
+        machine = build_multi_gpu_node(env, num_gpus=1)
+    elif machine_kind == "gpu4":
+        machine = build_multi_gpu_node(env, num_gpus=4)
+    elif machine_kind.startswith("cluster"):
+        machine = build_gpu_cluster(env, num_nodes=int(machine_kind[7:]))
+    else:
+        raise ValueError(machine_kind)
+    return Runtime(machine, RuntimeConfig(**config_kwargs))
+
+
+N = 64
+
+
+def pipeline_main(rt, kernel_scale, kernel_add):
+    """a -> b (x2 on GPU), a + b -> c (GPU), check c == 3a."""
+    a = rt.register_array("a", N, initial=np.arange(N, dtype=np.float32))
+    b = rt.register_array("b", N)
+    c = rt.register_array("c", N)
+
+    def main():
+        rt.submit(Task(
+            name="scale", device="cuda", kernel=kernel_scale,
+            cost_kwargs={"n": N},
+            accesses=(Access(a.whole, Direction.IN),
+                      Access(b.whole, Direction.OUT)),
+            args=(a.whole, b.whole, 2.0),
+        ))
+        rt.submit(Task(
+            name="add", device="cuda", kernel=kernel_add,
+            cost_kwargs={"n": N},
+            accesses=(Access(a.whole, Direction.IN),
+                      Access(b.whole, Direction.IN),
+                      Access(c.whole, Direction.OUT)),
+            args=(a.whole, b.whole, c.whole),
+        ))
+        yield from rt.taskwait()
+
+    makespan = rt.run_main(main())
+    return a, b, c, makespan
+
+
+@pytest.mark.parametrize("policy", ["nocache", "wt", "wb"])
+def test_gpu_pipeline_functional_single_gpu(policy):
+    rt = make_rt("gpu1", cache_policy=policy)
+    a, b, c, makespan = pipeline_main(rt, scale_kernel(), add_kernel())
+    np.testing.assert_allclose(rt.read_array(b), np.arange(N) * 2.0)
+    np.testing.assert_allclose(rt.read_array(c), np.arange(N) * 3.0)
+    assert makespan > 0
+
+
+@pytest.mark.parametrize("sched", ["bf", "default", "affinity"])
+def test_gpu_pipeline_functional_multi_gpu(sched):
+    rt = make_rt("gpu4", scheduler=sched)
+    a, b, c, _ = pipeline_main(rt, scale_kernel(), add_kernel())
+    np.testing.assert_allclose(rt.read_array(c), np.arange(N) * 3.0)
+
+
+def test_smp_task_runs_on_host():
+    rt = make_rt("gpu1")
+    a = rt.register_array("a", N, initial=np.ones(N, dtype=np.float32))
+    b = rt.register_array("b", N)
+
+    def body(src, dst):
+        dst[:] = src + 41.0
+
+    def main():
+        rt.submit(Task(
+            name="host_add", device="smp", smp_cost=1e-6, func=body,
+            accesses=(Access(a.whole, Direction.IN),
+                      Access(b.whole, Direction.OUT)),
+            args=(a.whole, b.whole),
+        ))
+        yield from rt.taskwait()
+
+    rt.run_main(main())
+    np.testing.assert_allclose(rt.read_array(b), 42.0)
+
+
+def test_cluster_pipeline_functional():
+    rt = make_rt("cluster2")
+    a, b, c, makespan = pipeline_main(rt, scale_kernel(), add_kernel())
+    np.testing.assert_allclose(rt.read_array(c), np.arange(N) * 3.0)
+    assert makespan > 0
+
+
+def test_dependent_chain_executes_in_order_single_gpu():
+    rt = make_rt("gpu1")
+    a = rt.register_array("a", N, initial=np.zeros(N, dtype=np.float32))
+
+    def bump(buf):
+        buf += 1.0
+
+    k = KernelSpec(name="bump", cost=lambda spec: 1e-6, func=bump)
+
+    def main():
+        for _ in range(10):
+            rt.submit(Task(
+                name="bump", device="cuda", kernel=k,
+                accesses=(Access(a.whole, Direction.INOUT),),
+                args=(a.whole,),
+            ))
+        yield from rt.taskwait()
+
+    rt.run_main(main())
+    np.testing.assert_allclose(rt.read_array(a), 10.0)

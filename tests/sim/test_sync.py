@@ -1,0 +1,187 @@
+"""Unit tests and property tests for AllOf/AnyOf composite events."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import AllOf, AnyOf, Environment, SimulationError
+
+
+def test_allof_waits_for_all():
+    env = Environment()
+    done = []
+
+    def proc():
+        yield env.all_of([env.timeout(1), env.timeout(5), env.timeout(3)])
+        done.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert done == [5]
+
+
+def test_anyof_fires_on_first():
+    env = Environment()
+    done = []
+
+    def proc():
+        yield env.any_of([env.timeout(4), env.timeout(2), env.timeout(9)])
+        done.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert done == [2]
+
+
+def test_allof_empty_fires_immediately():
+    env = Environment()
+    done = []
+
+    def proc():
+        yield env.all_of([])
+        done.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert done == [0]
+
+
+def test_allof_collects_values():
+    env = Environment()
+    got = []
+
+    def proc():
+        t1 = env.timeout(1, value="a")
+        t2 = env.timeout(2, value="b")
+        values = yield env.all_of([t1, t2])
+        got.append(sorted(values.values()))
+
+    env.process(proc())
+    env.run()
+    assert got == [["a", "b"]]
+
+
+def test_allof_with_already_processed_event():
+    env = Environment()
+    got = []
+
+    def proc():
+        t1 = env.timeout(1, value="early")
+        yield env.timeout(5)
+        t2 = env.timeout(1, value="late")
+        values = yield env.all_of([t1, t2])
+        got.append(sorted(values.values()))
+
+    env.process(proc())
+    env.run()
+    assert got == [["early", "late"]]
+    assert env.now == 6
+
+
+def test_allof_fails_fast_on_failure():
+    env = Environment()
+    caught = []
+
+    def failer():
+        yield env.timeout(1)
+        raise ValueError("sub-event failed")
+
+    def proc():
+        try:
+            yield env.all_of([env.process(failer()), env.timeout(100)])
+        except ValueError:
+            caught.append(env.now)
+
+    env.process(proc())
+    env.run(until=10)
+    assert caught == [1]
+
+
+def test_anyof_failure_propagates():
+    env = Environment()
+    caught = []
+
+    def failer():
+        yield env.timeout(1)
+        raise KeyError("x")
+
+    def proc():
+        try:
+            yield env.any_of([env.process(failer()), env.timeout(100)])
+        except KeyError:
+            caught.append(env.now)
+
+    env.process(proc())
+    env.run(until=10)
+    assert caught == [1]
+
+
+def test_cross_environment_events_rejected():
+    env1 = Environment()
+    env2 = Environment()
+    with pytest.raises(SimulationError):
+        AllOf(env1, [env1.event(), env2.event()])
+
+
+def test_late_failure_after_anyof_resolution_is_defused():
+    env = Environment()
+
+    def failer():
+        yield env.timeout(5)
+        raise RuntimeError("late loser")
+
+    def proc():
+        yield env.any_of([env.timeout(1), env.process(failer())])
+
+    env.process(proc())
+    env.run()  # must not re-raise the late loser's failure
+
+
+@settings(max_examples=50, deadline=None)
+@given(delays=st.lists(st.floats(min_value=0, max_value=1000,
+                                 allow_nan=False), min_size=1, max_size=20))
+def test_allof_resolves_at_max_delay(delays):
+    env = Environment()
+    resolved = []
+
+    def proc():
+        yield env.all_of([env.timeout(d) for d in delays])
+        resolved.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert resolved == [max(delays)]
+
+
+@settings(max_examples=50, deadline=None)
+@given(delays=st.lists(st.floats(min_value=0, max_value=1000,
+                                 allow_nan=False), min_size=1, max_size=20))
+def test_anyof_resolves_at_min_delay(delays):
+    env = Environment()
+    resolved = []
+
+    def proc():
+        yield env.any_of([env.timeout(d) for d in delays])
+        resolved.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert resolved == [min(delays)]
+
+
+@settings(max_examples=30, deadline=None)
+@given(delays=st.lists(st.floats(min_value=0, max_value=100,
+                                 allow_nan=False), min_size=1, max_size=30))
+def test_timeouts_fire_in_nondecreasing_time_order(delays):
+    env = Environment()
+    fired = []
+
+    def proc(d):
+        yield env.timeout(d)
+        fired.append(env.now)
+
+    for d in delays:
+        env.process(proc(d))
+    env.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
