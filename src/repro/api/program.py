@@ -31,14 +31,15 @@ class Program:
     def __init__(self, machine: Optional[Machine] = None,
                  config: Optional[RuntimeConfig] = None,
                  env: Optional[Environment] = None,
-                 tracer=None):
+                 tracer=None, metrics=None):
         if machine is None:
             env = env or Environment()
             machine = build_multi_gpu_node(env, num_gpus=1)
         self.env = machine.env
         self.machine = machine
         self.config = config or RuntimeConfig()
-        self.rt = Runtime(machine, self.config, tracer=tracer)
+        self.rt = Runtime(machine, self.config, tracer=tracer,
+                          metrics=metrics)
         self._makespan: Optional[float] = None
 
     # -- data ----------------------------------------------------------------
@@ -78,6 +79,13 @@ class Program:
         return self._makespan
 
     # -- metrics --------------------------------------------------------------
+    @property
+    def metrics(self):
+        """The runtime's :class:`~repro.metrics.CounterRegistry` — every
+        subsystem's counters (``metrics.snapshot()`` / ``metrics.to_json()``
+        for export, see docs/OBSERVABILITY.md)."""
+        return self.rt.metrics
+
     @property
     def stats(self) -> dict:
         """Execution counters for the benchmark reports."""

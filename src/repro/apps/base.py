@@ -37,6 +37,10 @@ class AppResult:
     metric: float              # app-specific headline number
     metric_unit: str
     stats: dict = field(default_factory=dict)
+    #: full counter-registry snapshot of the run (OmpSs versions only;
+    #: see docs/OBSERVABILITY.md) — the substrate for per-run metrics
+    #: tables in benchmark output.
+    metrics: dict = field(default_factory=dict)
     #: functional-mode output(s) for correctness checks (None in perf mode).
     output: Optional[dict] = None
 

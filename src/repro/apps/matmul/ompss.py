@@ -84,5 +84,5 @@ def run_ompss(machine: Machine, size: MatmulSize,
     return AppResult(
         name="matmul", version="ompss", makespan=elapsed,
         metric=gflops(size, elapsed), metric_unit="GFLOP/s",
-        stats=prog.stats, output=output,
+        stats=prog.stats, metrics=prog.metrics.snapshot(), output=output,
     )

@@ -98,5 +98,5 @@ def run_ompss(machine: Machine, size: NBodySize,
     return AppResult(
         name="nbody", version="ompss", makespan=elapsed,
         metric=gflops(size, elapsed), metric_unit="GFLOP/s",
-        stats=prog.stats, output=output,
+        stats=prog.stats, metrics=prog.metrics.snapshot(), output=output,
     )

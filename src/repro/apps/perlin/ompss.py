@@ -65,5 +65,5 @@ def run_ompss(machine: Machine, size: PerlinSize,
     return AppResult(
         name="perlin", version="ompss", makespan=elapsed,
         metric=mpixels_per_s(size, elapsed), metric_unit="Mpixels/s",
-        stats=prog.stats, output=output,
+        stats=prog.stats, metrics=prog.metrics.snapshot(), output=output,
     )

@@ -94,5 +94,5 @@ def run_ompss(machine: Machine, size: StreamSize,
     return AppResult(
         name="stream", version="ompss", makespan=elapsed,
         metric=bandwidth_gbs(size, elapsed), metric_unit="GB/s",
-        stats=prog.stats, output=output,
+        stats=prog.stats, metrics=prog.metrics.snapshot(), output=output,
     )

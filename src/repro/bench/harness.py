@@ -8,10 +8,34 @@ from typing import Any, Callable, Sequence
 from ..hardware.cluster import Machine, build_gpu_cluster, build_multi_gpu_node
 from ..runtime.config import RuntimeConfig
 from ..sim import Environment
-from .report import render_series
+from .report import render_series, render_table
 
 __all__ = ["FigureResult", "fresh_multi_gpu", "fresh_cluster", "PERF",
-           "CLUSTER_BEST"]
+           "CLUSTER_BEST", "summarize_run"]
+
+
+def summarize_run(snapshot: dict) -> dict:
+    """Condense a :meth:`CounterRegistry.snapshot` into the headline
+    mechanism counters the evaluation tables report per run (cache
+    behaviour, data movement, cluster overlap)."""
+
+    def total(prefix: str, suffix: str) -> float:
+        return sum(v for k, v in snapshot.items()
+                   if k.startswith(prefix) and k.endswith(suffix)
+                   and not isinstance(v, dict))
+
+    return {
+        "tasks": snapshot.get("runtime.tasks_finished", 0),
+        "hits": total("cache.", ".hits"),
+        "misses": total("cache.", ".misses"),
+        "evict": total("cache.", ".evictions"),
+        "wback": total("cache.", ".writebacks"),
+        "xfers": snapshot.get("coherence.transfers", 0),
+        "moved MB": snapshot.get("coherence.bytes_transferred", 0) / 1e6,
+        "net MB": snapshot.get("am.bytes_sent", 0) / 1e6,
+        "presend": total("cluster.", ".presends"),
+        "steals": snapshot.get("scheduler.steals", 0),
+    }
 
 #: Performance-mode base configuration (benchmarks never move real data).
 PERF = RuntimeConfig(functional=False)
@@ -34,13 +58,29 @@ class FigureResult:
     unit: str
     series: dict[str, list[float]] = field(default_factory=dict)
     notes: list[str] = field(default_factory=list)
+    #: per-config condensed metrics (label -> summarize_run dict), rendered
+    #: as an extra table after the figure series.
+    run_metrics: dict[str, dict] = field(default_factory=dict)
 
     def add(self, name: str, values: list[float]) -> None:
         self.series[name] = values
 
+    def attach_metrics(self, name: str, snapshot: dict) -> None:
+        """Record a run's counter snapshot (condensed) under ``name``."""
+        if snapshot:
+            self.run_metrics[name] = summarize_run(snapshot)
+
     def render(self) -> str:
         text = render_series(f"{self.figure}: {self.title}", self.x_label,
                              self.xs, self.series, unit=self.unit)
+        if self.run_metrics:
+            first = next(iter(self.run_metrics.values()))
+            columns = ["config"] + list(first)
+            rows = [[label] + list(summary.values())
+                    for label, summary in self.run_metrics.items()]
+            text += "\n" + render_table(
+                f"{self.figure}: per-run metrics (at {self.x_label}="
+                f"{self.xs[-1]})", columns, rows)
         if self.notes:
             text += "\n" + "\n".join(f"note: {n}" for n in self.notes)
         return text

@@ -1,10 +1,10 @@
-"""ASCII rendering of benchmark tables and series."""
+"""ASCII rendering of benchmark tables, series, and metrics snapshots."""
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence
+from typing import Any, Mapping, Optional, Sequence
 
-__all__ = ["render_table", "render_series"]
+__all__ = ["render_table", "render_series", "render_metrics"]
 
 
 def _fmt(value: Any) -> str:
@@ -22,19 +22,52 @@ def _fmt(value: Any) -> str:
 def render_table(title: str, columns: Sequence[str],
                  rows: Sequence[Sequence[Any]],
                  note: Optional[str] = None) -> str:
-    """Render rows as a fixed-width table with a title banner."""
+    """Render rows as a fixed-width table with a title banner.
+
+    Tolerates empty ``rows`` (header-only table) and short rows (missing
+    trailing cells render blank) instead of crashing on ``max()`` of an
+    empty sequence / indexing past a ragged row.
+    """
     cells = [[_fmt(v) for v in row] for row in rows]
-    widths = [max(len(str(col)), *(len(r[i]) for r in cells) if cells else (0,))
-              for i, col in enumerate(columns)]
+    widths = []
+    for i, col in enumerate(columns):
+        in_col = [len(r[i]) for r in cells if i < len(r)]
+        widths.append(max(len(str(col)), *in_col) if in_col
+                      else len(str(col)))
     sep = "-+-".join("-" * w for w in widths)
     lines = [f"== {title} ==",
              " | ".join(str(c).ljust(w) for c, w in zip(columns, widths)),
              sep]
     for row in cells:
-        lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+        padded = row + [""] * (len(widths) - len(row))
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(padded, widths)))
     if note:
         lines.append(f"note: {note}")
     return "\n".join(lines)
+
+
+def render_metrics(snapshot: Mapping[str, Any],
+                   title: str = "metrics",
+                   prefix: str = "",
+                   note: Optional[str] = None) -> str:
+    """Render a :meth:`CounterRegistry.snapshot` as a two-column table.
+
+    Scalar instruments (counters, gauges) render as single rows; histogram
+    summaries render as ``name{count,mean,...}`` rows.  ``prefix`` filters
+    to one subsystem (e.g. ``"cache."``).
+    """
+    rows: list[list[Any]] = []
+    for name in sorted(snapshot):
+        if prefix and not name.startswith(prefix):
+            continue
+        value = snapshot[name]
+        if isinstance(value, Mapping):
+            for stat in ("count", "total", "min", "max", "mean"):
+                if stat in value:
+                    rows.append([f"{name}.{stat}", value[stat]])
+        else:
+            rows.append([name, value])
+    return render_table(title, ["metric", "value"], rows, note=note)
 
 
 def render_series(title: str, x_label: str, xs: Sequence[Any],

@@ -36,18 +36,22 @@ class CudaContext:
 
     def __init__(self, env: Environment, gpu: GPUDevice, node: Node,
                  registry: Optional[KernelRegistry] = None,
-                 jitter: float = 0.0):
+                 jitter: float = 0.0, metrics=None):
         self.env = env
         self.gpu = gpu
         self.node = node
         self.registry = registry or KernelRegistry()
+        #: optional :class:`~repro.metrics.CounterRegistry` shared with the
+        #: streams this context creates.
+        self.metrics = metrics
         #: relative kernel-duration variability (real launches are not
         #: perfectly repeatable; a zero-variance simulation produces
         #: artificial lock-step schedules).  Deterministic per launch index.
         self.jitter = jitter
         self._lcg = (gpu.index * 2654435761 + node.index * 40503 + 12345) \
             & 0xFFFFFFFF
-        self.null_stream = Stream(env, name=f"gpu{gpu.index}.null")
+        self.null_stream = Stream(
+            env, name=f"n{node.index}.gpu{gpu.index}.null", metrics=metrics)
         self._streams: list[Stream] = [self.null_stream]
         self.pinned_pool = BytePool(
             env, node.spec.pinned_pool_capacity,
@@ -65,7 +69,11 @@ class CudaContext:
 
     # -- streams ----------------------------------------------------------
     def create_stream(self) -> Stream:
-        s = Stream(self.env, name=f"gpu{self.gpu.index}.s{len(self._streams)}")
+        s = Stream(
+            self.env,
+            name=f"n{self.node.index}.gpu{self.gpu.index}"
+                 f".s{len(self._streams)}",
+            metrics=self.metrics)
         self._streams.append(s)
         return s
 

@@ -22,13 +22,16 @@ class Stream:
 
     _next_id = 0
 
-    def __init__(self, env: Environment, name: str = ""):
+    def __init__(self, env: Environment, name: str = "", metrics=None):
         self.env = env
         Stream._next_id += 1
         self.sid = Stream._next_id
         self.name = name or f"stream{self.sid}"
         self._tail: Optional[Event] = None
         self.ops_enqueued = 0
+        #: optional :class:`~repro.metrics.CounterRegistry`; enqueues are
+        #: counted under ``cuda.stream.<name>.ops``.
+        self.metrics = metrics
 
     def enqueue(self, operation: Callable[[], "object"]) -> Event:
         """Append ``operation`` (a generator factory) to the stream.
@@ -39,6 +42,8 @@ class Stream:
         """
         prev_tail = self._tail
         self.ops_enqueued += 1
+        if self.metrics is not None:
+            self.metrics.inc(f"cuda.stream.{self.name}.ops")
 
         def runner():
             if prev_tail is not None and not prev_tail.processed:

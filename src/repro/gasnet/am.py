@@ -54,7 +54,7 @@ class Endpoint:
 class AMLayer:
     """The conduit: endpoints plus request delivery over the fabric."""
 
-    def __init__(self, env: Environment, network: Network):
+    def __init__(self, env: Environment, network: Network, metrics=None):
         self.env = env
         self.network = network
         self.endpoints = [Endpoint(self, node.index)
@@ -62,6 +62,9 @@ class AMLayer:
         self.short_sent = 0
         self.long_sent = 0
         self.bytes_sent = 0
+        #: optional :class:`~repro.metrics.CounterRegistry`; counters are
+        #: namespaced ``am.*`` with per-link ``am.link.<src>-><dst>.*``.
+        self.metrics = metrics
 
     def endpoint(self, node_index: int) -> Endpoint:
         return self.endpoints[node_index]
@@ -79,6 +82,13 @@ class AMLayer:
         else:
             self.short_sent += 1
         self.bytes_sent += nbytes
+        if self.metrics is not None:
+            kind = "long" if payload_bytes > 0 else "short"
+            self.metrics.inc(f"am.{kind}_sent")
+            self.metrics.inc("am.bytes_sent", nbytes)
+            link = f"am.link.{src}->{dst}"
+            self.metrics.inc(f"{link}.messages")
+            self.metrics.inc(f"{link}.bytes", nbytes)
 
         def deliver():
             yield self.env.process(self.network.transfer(

@@ -72,7 +72,8 @@ class SoftwareCache:
     """Residency tracking + LRU replacement for one device address space."""
 
     def __init__(self, space: AddressSpace, capacity: int,
-                 policy: "CachePolicy | str" = CachePolicy.WRITE_BACK):
+                 policy: "CachePolicy | str" = CachePolicy.WRITE_BACK,
+                 metrics=None):
         if capacity <= 0:
             raise ValueError("cache capacity must be positive")
         self.space = space
@@ -80,11 +81,24 @@ class SoftwareCache:
         self.policy = CachePolicy.parse(policy)
         self._entries: dict[RegionKey, CacheEntry] = {}
         self.bytes_used = 0
-        # statistics
+        # statistics (mirrored into the registry when one is attached)
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.writebacks = 0
+        #: optional :class:`~repro.metrics.CounterRegistry`; counters are
+        #: namespaced ``cache.<space name>.*``.
+        self.metrics = metrics
+        self._mprefix = f"cache.{space.name}"
+
+    def _count(self, what: str) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(f"{self._mprefix}.{what}")
+
+    def _track_usage(self) -> None:
+        if self.metrics is not None:
+            self.metrics.set_gauge(f"{self._mprefix}.bytes_used",
+                                   self.bytes_used)
 
     # -- queries ---------------------------------------------------------
     def has(self, region: Region) -> bool:
@@ -115,9 +129,11 @@ class SoftwareCache:
         ent = self._entries.get(region.key)
         if ent is None:
             self.misses += 1
+            self._count("misses")
             return False
         ent.last_use = next(_use_clock)
         self.hits += 1
+        self._count("hits")
         return True
 
     def choose_victims(self, nbytes_needed: int) -> list[CacheEntry]:
@@ -158,6 +174,8 @@ class SoftwareCache:
         ent = CacheEntry(region=region, dirty=dirty)
         self._entries[region.key] = ent
         self.bytes_used += region.nbytes
+        self._count("inserts")
+        self._track_usage()
         return ent
 
     def remove(self, region: Region) -> None:
@@ -168,6 +186,8 @@ class SoftwareCache:
                 raise RuntimeError(f"cannot remove pinned entry {region!r}")
             self.bytes_used -= ent.nbytes
             self.evictions += 1
+            self._count("evictions")
+            self._track_usage()
 
     # -- pinning (entries in use by a running task) -----------------------
     def pin(self, region: Region) -> None:
@@ -188,3 +208,4 @@ class SoftwareCache:
         if ent is not None and ent.dirty:
             ent.dirty = False
             self.writebacks += 1
+            self._count("writebacks")

@@ -33,21 +33,33 @@ class DirectoryEntry:
 class Directory:
     """Location/version tracking for every region touched by any task."""
 
-    def __init__(self, home: AddressSpace):
+    def __init__(self, home: AddressSpace, metrics=None):
         #: Where data lives when nothing else holds it (master host memory).
         self.home = home
         self._entries: dict[RegionKey, DirectoryEntry] = {}
         #: Per object id, the distinct region shapes seen (for overlap checks).
         self._shapes: dict[int, list[Region]] = {}
+        #: optional :class:`~repro.metrics.CounterRegistry`; counters are
+        #: namespaced ``directory.*``.
+        self.metrics = metrics
+
+    def _count(self, what: str) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(f"directory.{what}")
 
     # -- bookkeeping -----------------------------------------------------
     def entry(self, region: Region) -> DirectoryEntry:
+        self._count("lookups")
         ent = self._entries.get(region.key)
         if ent is None:
             self._check_shape(region)
             ent = DirectoryEntry(region=region, version=0,
                                  holders={self.home})
             self._entries[region.key] = ent
+            self._count("entries_created")
+            if self.metrics is not None:
+                self.metrics.set_gauge("directory.entries",
+                                       len(self._entries))
         return ent
 
     def _check_shape(self, region: Region) -> None:
@@ -81,12 +93,18 @@ class Directory:
     # -- transitions ---------------------------------------------------------
     def record_copy(self, region: Region, space: AddressSpace) -> None:
         """``space`` received the current version of ``region``."""
+        self._count("copies_recorded")
         self.entry(region).holders.add(space)
 
     def record_write(self, region: Region, space: AddressSpace) -> None:
         """``space`` produced a new version; all other copies are stale."""
         ent = self.entry(region)
         ent.version += 1
+        self._count("writes_recorded")
+        if self.metrics is not None and len(ent.holders) > 1:
+            # Every other holder's copy just became stale.
+            self.metrics.inc("directory.invalidations",
+                             len(ent.holders) - (space in ent.holders))
         ent.holders = {space}
 
     def record_drop(self, region: Region, space: AddressSpace) -> None:
@@ -103,6 +121,7 @@ class Directory:
                     f"{space!r} would lose data"
                 )
             ent.holders.remove(space)
+            self._count("drops_recorded")
 
     def all_regions(self) -> list[Region]:
         return [e.region for e in self._entries.values()]

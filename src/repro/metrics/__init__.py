@@ -1,0 +1,9 @@
+"""Runtime observability: the counter registry the runtime reports into.
+
+See :mod:`repro.metrics.registry` for the instrument kinds and
+``docs/OBSERVABILITY.md`` for the tour of what the runtime records where.
+"""
+
+from .registry import Counter, CounterRegistry, Gauge, Histogram
+
+__all__ = ["Counter", "CounterRegistry", "Gauge", "Histogram"]

@@ -1,0 +1,248 @@
+"""The counter registry: the runtime's quantitative self-description.
+
+The paper's evaluation (Section V) explains performance by *mechanism* —
+cache-policy ablations hinge on how many transfers each write causes,
+presend sweeps on how much data movement overlaps computation.  Spans (see
+:mod:`repro.runtime.trace`) show *when* things happened; the registry counts
+*how often* and *how much*: cache hits per device, bytes per physical link,
+kernel launches, presend dispatches, steals.
+
+Four instrument kinds cover the runtime's needs:
+
+* :class:`Counter` — a monotonically increasing count (hits, bytes, sends);
+* :class:`Gauge` — a level that moves both ways, with a high-water mark
+  (bytes resident in a cache, outstanding presends);
+* :class:`Histogram` — a distribution summary (count/total/min/max/mean)
+  for observed values such as task durations;
+* scoped timers — context managers feeding a histogram from a clock
+  (the simulation clock when the registry belongs to a runtime).
+
+Instruments are created lazily by name, so call sites never need
+registration boilerplate::
+
+    metrics = CounterRegistry()
+    metrics.inc("cache.gpu:0:0.hits")
+    metrics.observe("tasks.cuda.duration", 1.5e-3)
+    with metrics.timer("startup"):
+        ...
+    print(metrics.to_json())
+
+Names are dotted paths (``subsystem.instance.what``); ``snapshot()``
+flattens everything into one JSON-friendly dict keyed by those names.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Iterator, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "CounterRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: "int | float" = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A level that can move both ways; remembers its high-water mark."""
+
+    __slots__ = ("name", "value", "high_water")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+        self.high_water = 0
+
+    def set(self, value: "int | float") -> None:
+        self.value = value
+        if value > self.high_water:
+            self.high_water = value
+
+    def add(self, amount: "int | float") -> None:
+        self.set(self.value + amount)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Gauge {self.name}={self.value} hwm={self.high_water}>"
+
+
+class Histogram:
+    """Streaming distribution summary: count, total, min, max, mean."""
+
+    __slots__ = ("name", "count", "total", "vmin", "vmax")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        if self.count == 0:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0}
+        return {"count": self.count, "total": self.total, "min": self.vmin,
+                "max": self.vmax, "mean": self.mean}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:g}>"
+
+
+class _ScopedTimer:
+    """Context manager observing its enter->exit duration into a histogram."""
+
+    __slots__ = ("_hist", "_clock", "_start")
+
+    def __init__(self, hist: Histogram, clock: Callable[[], float]):
+        self._hist = hist
+        self._clock = clock
+        self._start = 0.0
+
+    def __enter__(self) -> "_ScopedTimer":
+        self._start = self._clock()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._hist.observe(self._clock() - self._start)
+
+
+class CounterRegistry:
+    """Lazily-created named instruments plus snapshot/export.
+
+    ``clock`` supplies the time source for :meth:`timer`; a runtime passes
+    its simulation clock (``lambda: env.now``) so scoped timers measure
+    simulated seconds.  Without one, wall-clock ``time.perf_counter`` is
+    used.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._clock = clock or time.perf_counter
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument access (creates on first use) -------------------------
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            self._check_fresh(name)
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            self._check_fresh(name)
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            self._check_fresh(name)
+            h = self._histograms[name] = Histogram(name)
+        return h
+
+    def _check_fresh(self, name: str) -> None:
+        if (name in self._counters or name in self._gauges
+                or name in self._histograms):
+            raise ValueError(
+                f"metric {name!r} already exists with a different kind")
+
+    # -- recording shortcuts ----------------------------------------------
+    def inc(self, name: str, amount: "int | float" = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: "int | float") -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def timer(self, name: str) -> _ScopedTimer:
+        """Scoped timer: ``with metrics.timer("phase"): ...`` observes the
+        block's duration into histogram ``name``."""
+        return _ScopedTimer(self.histogram(name), self._clock)
+
+    # -- queries ------------------------------------------------------------
+    def value(self, name: str, default: "int | float" = 0) -> "int | float":
+        """Current value of a counter or gauge (``default`` if absent)."""
+        c = self._counters.get(name)
+        if c is not None:
+            return c.value
+        g = self._gauges.get(name)
+        if g is not None:
+            return g.value
+        return default
+
+    def names(self) -> list[str]:
+        return sorted([*self._counters, *self._gauges, *self._histograms])
+
+    def with_prefix(self, prefix: str) -> "dict[str, int | float | dict]":
+        """Snapshot restricted to names starting with ``prefix``."""
+        return {k: v for k, v in self.snapshot().items()
+                if k.startswith(prefix)}
+
+    def __len__(self) -> int:
+        return (len(self._counters) + len(self._gauges)
+                + len(self._histograms))
+
+    def __bool__(self) -> bool:
+        # An empty registry is still a registry — never let `metrics or
+        # default` silently replace one that was passed in.
+        return True
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    # -- export ------------------------------------------------------------
+    def snapshot(self) -> "dict[str, int | float | dict]":
+        """One flat, JSON-serializable dict.  Counters and gauges map to
+        their value (gauges additionally export ``<name>.high_water``);
+        histograms map to their five-number summary dict."""
+        snap: dict[str, int | float | dict] = {}
+        for name in sorted(self._counters):
+            snap[name] = self._counters[name].value
+        for name in sorted(self._gauges):
+            g = self._gauges[name]
+            snap[name] = g.value
+            snap[f"{name}.high_water"] = g.high_water
+        for name in sorted(self._histograms):
+            snap[name] = self._histograms[name].summary()
+        return snap
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        """Forget every instrument (fresh-run helper for sweeps)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

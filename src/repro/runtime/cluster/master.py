@@ -83,6 +83,15 @@ class CommThread:
                     proxy.outstanding += 1
                     proxy.tasks_dispatched += 1
                     task.node_index = proxy.node_index
+                    metrics = rt.metrics
+                    node_ns = f"cluster.node{proxy.node_index}"
+                    metrics.inc(f"{node_ns}.dispatched")
+                    if proxy.outstanding > 1:
+                        # Shipped while an earlier task still runs there:
+                        # this dispatch's data movement is presend overlap.
+                        metrics.inc(f"{node_ns}.presends")
+                    metrics.gauge(f"{node_ns}.outstanding").set(
+                        proxy.outstanding)
                     self.env.process(self._dispatch(proxy, task))
                     progressed = True
             if not progressed:
@@ -120,6 +129,9 @@ class CommThread:
             if proxy.node_index == node_index:
                 proxy.outstanding -= 1
                 assert proxy.outstanding >= 0, "presend window broke"
+                self.rt.metrics.gauge(
+                    f"cluster.node{node_index}.outstanding").set(
+                        proxy.outstanding)
                 finished_proxy = proxy
                 break
         # Credit the proxy (not the slave-side worker) so successor-first

@@ -48,6 +48,18 @@ class CoherenceEngine:
         self.bytes_transferred = 0
         self.dedup_hits = 0
 
+    def _count_leg(self, link: str, nbytes: int) -> None:
+        """One physical transfer leg: totals plus per-link accounting.
+        ``link`` uses the tracer's place labels (``net:0->1``,
+        ``link:node0.host->node0.gpu0``) so counters and timelines line up."""
+        self.transfers += 1
+        self.bytes_transferred += nbytes
+        metrics = self.rt.metrics
+        metrics.inc("coherence.transfers")
+        metrics.inc("coherence.bytes_transferred", nbytes)
+        metrics.inc(f"link.{link}.transfers")
+        metrics.inc(f"link.{link}.bytes", nbytes)
+
     # ------------------------------------------------------------------
     # Task-level protocol
     # ------------------------------------------------------------------
@@ -137,6 +149,10 @@ class CoherenceEngine:
     # ------------------------------------------------------------------
     def _allocate_and_pin(self, region: Region, cache: SoftwareCache):
         """Make room for + pin ``region`` in ``cache`` (evicting LRU)."""
+        # Record the access: resident = hit (no allocation work), absent =
+        # miss (evict until it fits).  This is the hit/miss statistic the
+        # cache-policy ablations report.
+        cache.lookup(region)
         while not cache.has(region):
             victims = cache.choose_victims(region.nbytes)
             if not victims:
@@ -195,6 +211,7 @@ class CoherenceEngine:
         pending = self._inflight.get(key)
         if pending is not None:
             self.dedup_hits += 1
+            self.rt.metrics.inc("coherence.dedup_hits")
             yield pending
             return
         done = Event(self.env)
@@ -281,13 +298,11 @@ class CoherenceEngine:
         start = self.env.now
         yield am.request(src.node_index, dst.node_index, "nanos.region_data",
                          region, src, dst, payload_bytes=region.nbytes)
-        self.transfers += 1
-        self.bytes_transferred += region.nbytes
+        link = f"net:{src.node_index}->{dst.node_index}"
+        self._count_leg(link, region.nbytes)
         if self.rt.tracer is not None:
-            self.rt.tracer.record(
-                "transfer", region.obj.name,
-                f"net:{src.node_index}->{dst.node_index}",
-                start, self.env.now, nbytes=region.nbytes)
+            self.rt.tracer.record("transfer", region.obj.name, link,
+                                  start, self.env.now, nbytes=region.nbytes)
 
     def _move_leg(self, region: Region, src: AddressSpace,
                   dst: AddressSpace, place):
@@ -305,10 +320,9 @@ class CoherenceEngine:
             yield from manager.dma(region.nbytes, direction)
         if self.config.functional:
             dst.write(region, src.read(region))
-        self.transfers += 1
-        self.bytes_transferred += region.nbytes
+        link = f"link:{src.name}->{dst.name}"
+        self._count_leg(link, region.nbytes)
         if self.rt.tracer is not None:
-            self.rt.tracer.record("transfer", region.obj.name,
-                                  f"link:{src.name}->{dst.name}",
+            self.rt.tracer.record("transfer", region.obj.name, link,
                                   start, self.env.now,
                                   nbytes=region.nbytes)

@@ -47,7 +47,8 @@ class GPUManager:
         self.cache = cache
         self.ctx = CudaContext(self.env, gpu, image.node,
                                registry=self.rt.kernel_registry,
-                               jitter=self.rt.config.kernel_jitter)
+                               jitter=self.rt.config.kernel_jitter,
+                               metrics=self.rt.metrics)
         self.copy_stream = self.ctx.create_stream()
         self.tasks_run = 0
 
@@ -62,6 +63,9 @@ class GPUManager:
     def dma(self, nbytes: int, direction: str):
         """Process generator: one host<->device transfer, honoring the
         overlap configuration (used by the coherence engine)."""
+        metrics = self.rt.metrics
+        metrics.inc(f"gpu.{self.place_name}.dma.{direction}.copies")
+        metrics.inc(f"gpu.{self.place_name}.dma.{direction}.bytes", nbytes)
         if not self.rt.config.overlap:
             # Pageable copy on the null stream: serializes with kernels.
             yield self.ctx.memcpy(nbytes, direction, pinned=False)
@@ -99,9 +103,13 @@ class GPUManager:
             trace_start = self.env.now
             if rt.config.task_overhead:
                 yield self.env.timeout(rt.config.task_overhead)
-            if not getattr(task, "_staged", False):
+            if getattr(task, "_staged", False):
+                # Inputs already on the device: the prefetch paid off.
+                rt.metrics.inc(f"gpu.{self.place_name}.prefetch.hits")
+            else:
                 yield from rt.coherence.stage_in(task, self)
             kernel_done = self._launch(task)
+            rt.metrics.inc(f"gpu.{self.place_name}.kernels")
 
             prefetch_proc = None
             if rt.config.prefetch:
@@ -110,6 +118,7 @@ class GPUManager:
                     prefetch_proc = self.env.process(
                         self._prefetch(candidate))
                     staged_next = candidate
+                    rt.metrics.inc(f"gpu.{self.place_name}.prefetch.staged")
 
             kernel_enqueued = self.env.now
             yield kernel_done
@@ -125,6 +134,9 @@ class GPUManager:
             if task.subtasks is not None:
                 yield self.image.run_children(task)
             self.tasks_run += 1
+            rt.metrics.inc(f"gpu.{self.place_name}.tasks")
+            rt.metrics.observe("tasks.cuda.duration",
+                               self.env.now - trace_start)
             self.image.finish_task(task, self)
 
     def _prefetch(self, task: Task):

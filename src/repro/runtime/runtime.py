@@ -21,6 +21,7 @@ from ..memory.cache import SoftwareCache
 from ..memory.directory import Directory
 from ..memory.region import DataObject, Region
 from ..memory.space import AddressSpace, DeviceSpace, HostSpace
+from ..metrics import CounterRegistry
 from ..sim import Environment, Event
 from .cluster import CommThread, NodeProxy
 from .coherence import CoherenceEngine
@@ -45,6 +46,7 @@ class Image:
         self.scheduler = make_scheduler(
             rt.config.scheduler, rt.notify_work, rt.directory,
             steal=rt.config.steal, rr_chunk=rt.config.rr_chunk,
+            metrics=rt.metrics,
         )
         # Execution places.  Each GPU claims a manager thread; on a cluster
         # master one more core serves communication; the rest run SMP tasks.
@@ -141,6 +143,7 @@ class Image:
         newly_ready = rt.graph.task_finished(task)
         self.scheduler.task_finished(task, place, newly_ready)
         rt.tasks_finished += 1
+        rt.metrics.inc("runtime.tasks_finished")
         if task.done is not None and not task.done.triggered:
             task.done.succeed()
         rt.notify_completion()
@@ -152,13 +155,19 @@ class Runtime:
     def __init__(self, machine: Machine,
                  config: Optional[RuntimeConfig] = None,
                  kernel_registry: Optional[KernelRegistry] = None,
-                 tracer=None):
+                 tracer=None,
+                 metrics: Optional[CounterRegistry] = None):
         self.machine = machine
         self.env: Environment = machine.env
         self.config = config or RuntimeConfig()
         self.kernel_registry = kernel_registry or KernelRegistry()
         #: optional Tracer recording task/transfer/message spans.
         self.tracer = tracer
+        #: counter registry every subsystem reports into; scoped timers use
+        #: the simulation clock.  Always present (recording is cheap); pass
+        #: your own to share one registry across runtimes in a sweep.
+        self.metrics = (metrics if metrics is not None
+                        else CounterRegistry(clock=lambda: self.env.now))
         functional = self.config.functional
 
         # -- address spaces -------------------------------------------------
@@ -177,16 +186,19 @@ class Runtime:
                 capacity = int(gpu.mem_capacity
                                * self.config.gpu_cache_fraction)
                 self._caches[id(space)] = SoftwareCache(
-                    space, capacity, self.config.cache_policy)
+                    space, capacity, self.config.cache_policy,
+                    metrics=self.metrics)
 
-        self.directory = Directory(home=self.master_host)
+        self.directory = Directory(home=self.master_host,
+                                   metrics=self.metrics)
         self.coherence = CoherenceEngine(self)
         self.graph = DependencyGraph()
 
         # -- cluster fabric ------------------------------------------------------
         self.am: Optional[AMLayer] = None
         if machine.is_cluster:
-            self.am = AMLayer(self.env, machine.network)
+            self.am = AMLayer(self.env, machine.network,
+                              metrics=self.metrics)
             self._register_am_handlers()
 
         # -- images -------------------------------------------------------------
@@ -287,7 +299,9 @@ class Runtime:
             self.start()
         task.done = self.env.event()
         self.tasks_submitted += 1
+        self.metrics.inc("runtime.tasks_submitted")
         ready = self.graph.add_task(task)
+        self.metrics.set_gauge("runtime.tasks_live", self.graph.live_count)
         if ready:
             self.master_image.submit_local(task)
         return task

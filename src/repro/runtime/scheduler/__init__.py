@@ -21,13 +21,13 @@ __all__ = [
 
 def make_scheduler(name: str, notify: Callable[[], None],
                    directory: Directory, steal: bool = True,
-                   rr_chunk: int = 1) -> Scheduler:
+                   rr_chunk: int = 1, metrics=None) -> Scheduler:
     """Instantiate a scheduling policy by its evaluation-chart name."""
     if name == "bf":
-        return BreadthFirstScheduler(notify)
+        return BreadthFirstScheduler(notify, metrics=metrics)
     if name == "default":
-        return DependencyAwareScheduler(notify)
+        return DependencyAwareScheduler(notify, metrics=metrics)
     if name == "affinity":
         return AffinityScheduler(notify, directory, steal=steal,
-                                 rr_chunk=rr_chunk)
+                                 rr_chunk=rr_chunk, metrics=metrics)
     raise ValueError(f"unknown scheduler {name!r}")

@@ -25,8 +25,8 @@ class AffinityScheduler(Scheduler):
     name = "affinity"
 
     def __init__(self, notify, directory: Directory, steal: bool = True,
-                 rr_chunk: int = 1):
-        super().__init__(notify)
+                 rr_chunk: int = 1, metrics=None):
+        super().__init__(notify, metrics=metrics)
         self.directory = directory
         self.steal = steal
         #: consecutive no-affinity tasks dealt to the same node domain —
@@ -115,6 +115,8 @@ class AffinityScheduler(Scheduler):
                 task = self._local[id(other)].pop_for(worker)
                 if task is not None:
                     self.stolen += 1
+                    if self.metrics is not None:
+                        self.metrics.inc("scheduler.steals")
                     return task
         return None
 

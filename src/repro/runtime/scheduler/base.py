@@ -55,12 +55,15 @@ class Scheduler:
 
     name = "base"
 
-    def __init__(self, notify: Callable[[], None]):
+    def __init__(self, notify: Callable[[], None], metrics=None):
         #: callback waking idle workers when work arrives.
         self._notify = notify
         self.workers: list[WorkerProtocol] = []
         self.global_queue = TaskQueue()
         self.tasks_submitted = 0
+        #: optional :class:`~repro.metrics.CounterRegistry`; counters are
+        #: namespaced ``scheduler.*``.
+        self.metrics = metrics
 
     # -- wiring -----------------------------------------------------------
     def register_worker(self, worker: WorkerProtocol) -> None:
@@ -70,6 +73,9 @@ class Scheduler:
     def submit(self, task: Task) -> None:
         """A task became ready: place it in some queue."""
         self.tasks_submitted += 1
+        if self.metrics is not None:
+            self.metrics.inc("scheduler.ready_submissions")
+            self.metrics.set_gauge("scheduler.pending", self.pending + 1)
         self._place(task)
         self._notify()
 

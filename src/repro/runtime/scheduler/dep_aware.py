@@ -20,8 +20,8 @@ __all__ = ["DependencyAwareScheduler"]
 class DependencyAwareScheduler(Scheduler):
     name = "default"
 
-    def __init__(self, notify):
-        super().__init__(notify)
+    def __init__(self, notify, metrics=None):
+        super().__init__(notify, metrics=metrics)
         self._hints: dict[int, TaskQueue] = {}
 
     def register_worker(self, worker: WorkerProtocol) -> None:
@@ -33,6 +33,8 @@ class DependencyAwareScheduler(Scheduler):
         hint = self._hints.get(id(worker))
         for t in newly_ready:
             self.tasks_submitted += 1
+            if self.metrics is not None:
+                self.metrics.inc("scheduler.ready_submissions")
             # Freed successors the finishing worker can run go to its hint
             # queue, to be picked before the global queue; the rest go global.
             if hint is not None and worker.accepts(t):

@@ -2,22 +2,35 @@
 
 Nanos++ installations are habitually analyzed with Paraver timelines; this
 module records the same kinds of spans from the simulated execution — task
-bodies per execution place, data transfers per link, cluster control
-messages — and can export a minimal Paraver ``.prv`` trace plus compute
-per-place utilization, which the tests use to assert scheduling properties
-(e.g. that a GPU never runs two kernels at once).
+bodies per execution place, kernels, data transfers per link, cluster
+control messages, and ``stage`` spans for runtime phases — and can export
+both a minimal Paraver ``.prv`` trace and a Chrome trace-event JSON
+(loadable in ``chrome://tracing`` / Perfetto).  Per-place utilization and
+idle-gap queries let the tests assert scheduling properties (e.g. that a
+GPU never runs two kernels at once, or that prefetch removed a staging
+gap).
 
-Enable by passing a :class:`Tracer` to the runtime::
+The example below is complete and runs as-is (the doc-snippet smoke test
+executes it)::
 
-    tracer = Tracer()
-    rt = Runtime(machine, config, tracer=tracer)
-    ...
-    print(tracer.utilization("gpu:0:0", rt.env.now))
-    Path("run.prv").write_text(tracer.to_paraver())
+    from repro.runtime import Tracer
+
+    tracer = Tracer()                      # pass to Runtime(..., tracer=...)
+    tracer.record("task", "k0", "gpu:0:0", start=0.0, end=1.0)
+    tracer.record("stage", "flush", "gpu:0:0", start=2.0, end=3.0)
+    assert tracer.utilization("gpu:0:0", makespan=4.0) == 0.5
+    assert tracer.gaps("gpu:0:0") == [(1.0, 2.0)]      # idle between spans
+    prv = tracer.to_paraver()              # Paraver .prv text
+    json_text = tracer.to_chrome()         # chrome://tracing JSON
+
+In a real run the runtime records the spans: build the runtime as
+``Runtime(machine, config, tracer=tracer)`` and export after ``run_main``
+(see ``examples/metrics_report.py``).
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
@@ -98,6 +111,27 @@ class Tracer:
     def bytes_moved(self) -> int:
         return sum(e.nbytes for e in self.by_category("transfer"))
 
+    def gaps(self, place: str,
+             categories: Optional[Iterable[str]] = None
+             ) -> list[tuple[float, float]]:
+        """Idle intervals between the place's spans (overlaps merged).
+
+        Useful for the "where did the time go" questions the paper's
+        evaluation asks: a GPU gap between a ``stage`` span and the next
+        ``kernel`` span is staging latency prefetch should have hidden.
+        """
+        spans = [(e.start, e.end) for e in self.timeline(place)
+                 if categories is None or e.category in categories]
+        if not spans:
+            return []
+        idle: list[tuple[float, float]] = []
+        cur_end = spans[0][1]
+        for start, end in spans[1:]:
+            if start > cur_end:
+                idle.append((cur_end, start))
+            cur_end = max(cur_end, end)
+        return idle
+
     # -- Paraver export -----------------------------------------------------
     def to_paraver(self) -> str:
         """A minimal Paraver .prv rendering: one 'thread' per place, state
@@ -116,3 +150,39 @@ class Tracer:
                 f"{int(e.end * 1e6)}:{cat_code[e.category]}"
             )
         return "\n".join(lines) + "\n"
+
+    # -- Chrome trace export ------------------------------------------------
+    def to_chrome(self, metrics: Optional[dict] = None) -> str:
+        """Chrome trace-event JSON (open in ``chrome://tracing`` or
+        https://ui.perfetto.dev).
+
+        Each place becomes a named thread under one process; every span is a
+        complete (``"ph": "X"``) event with microsecond timestamps.  Transfer
+        spans carry their byte count in ``args``.  An optional ``metrics``
+        dict (e.g. ``registry.snapshot()``) is embedded under
+        ``otherData`` so one file holds both the timeline and the counters.
+        """
+        places = self.places()
+        tids = {p: i + 1 for i, p in enumerate(places)}
+        events: list[dict] = [
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": tids[p],
+             "args": {"name": p}}
+            for p in places
+        ]
+        for e in sorted(self.events, key=lambda e: (e.start, e.end)):
+            record: dict = {
+                "name": e.name,
+                "cat": e.category,
+                "ph": "X",
+                "pid": 1,
+                "tid": tids[e.place],
+                "ts": e.start * 1e6,
+                "dur": e.duration * 1e6,
+            }
+            if e.nbytes:
+                record["args"] = {"nbytes": e.nbytes}
+            events.append(record)
+        doc: dict = {"traceEvents": events, "displayTimeUnit": "ms"}
+        if metrics is not None:
+            doc["otherData"] = {"metrics": metrics}
+        return json.dumps(doc, indent=1)

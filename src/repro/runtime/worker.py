@@ -100,6 +100,9 @@ class SMPWorker:
             # all have (so its own siblings see the decomposed work done).
             yield self.image.run_children(task)
         self.tasks_run += 1
+        self.rt.metrics.inc(f"worker.{self.place_name}.tasks")
+        self.rt.metrics.observe("tasks.smp.duration",
+                                self.env.now - trace_start)
         self.image.finish_task(task, self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

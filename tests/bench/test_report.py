@@ -45,3 +45,33 @@ def test_figure_result_accessors():
     rendered = fr.render()
     assert "Figure 0" in rendered
     assert "note: a note" in rendered
+
+
+def test_render_table_empty_rows():
+    # Regression: an empty row list must render headers, not crash.
+    text = render_table("Empty", ["a", "bb"], [])
+    assert "== Empty ==" in text
+    assert "a" in text and "bb" in text
+
+
+def test_render_table_ragged_rows():
+    # Regression: rows shorter than the header are padded, longer cells
+    # in any row still set the column width.
+    text = render_table("Ragged", ["a", "b", "c"],
+                        [["x"], ["y", "longvalue"], []])
+    assert "longvalue" in text
+    lines = text.splitlines()
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1, "all table rows must align"
+
+
+def test_render_metrics_table():
+    from repro.bench.report import render_metrics
+    snap = {"cache.gpu0.hits": 4, "cache.gpu0.misses": 2,
+            "am.bytes": 100,
+            "tasks.dur": {"count": 2, "total": 3.0, "min": 1.0,
+                          "max": 2.0, "mean": 1.5}}
+    text = render_metrics(snap, title="m", prefix="cache.")
+    assert "cache.gpu0.hits" in text and "am.bytes" not in text
+    full = render_metrics(snap, title="m")
+    assert "tasks.dur.count" in full and "tasks.dur.mean" in full

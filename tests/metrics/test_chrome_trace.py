@@ -1,0 +1,67 @@
+"""The Chrome trace-event exporter must emit chrome://tracing-loadable JSON."""
+
+import json
+
+from repro.runtime import Tracer
+
+
+def make_tracer():
+    t = Tracer()
+    t.record("task", "t0", "gpu:0:0", 0.0, 1e-3)
+    t.record("kernel", "k0", "gpu:0:0", 0.2e-3, 0.9e-3)
+    t.record("transfer", "A", "link:node0.host->node0.gpu0", 0.0, 0.1e-3,
+             nbytes=4096)
+    return t
+
+
+def test_valid_json_document():
+    doc = json.loads(make_tracer().to_chrome())
+    assert isinstance(doc["traceEvents"], list)
+    assert doc["displayTimeUnit"] == "ms"
+
+
+def test_thread_metadata_names_places():
+    doc = json.loads(make_tracer().to_chrome())
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    named = {e["args"]["name"] for e in meta}
+    assert named == {"gpu:0:0", "link:node0.host->node0.gpu0"}
+    # Metadata tids must match the tids used by the span events.
+    tid_of = {e["args"]["name"]: e["tid"] for e in meta}
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert {e["tid"] for e in spans} == set(tid_of.values())
+
+
+def test_complete_events_in_microseconds():
+    doc = json.loads(make_tracer().to_chrome())
+    spans = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+    t0 = spans["t0"]
+    assert t0["ts"] == 0.0
+    assert t0["dur"] == 1e-3 * 1e6  # microseconds
+    assert t0["cat"] == "task"
+
+
+def test_transfer_spans_carry_nbytes_args():
+    doc = json.loads(make_tracer().to_chrome())
+    xfer = [e for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["cat"] == "transfer"]
+    assert xfer and xfer[0]["args"]["nbytes"] == 4096
+
+
+def test_metrics_snapshot_embedded():
+    text = make_tracer().to_chrome(metrics={"cache.hits": 12})
+    doc = json.loads(text)
+    assert doc["otherData"]["metrics"]["cache.hits"] == 12
+
+
+def test_empty_tracer_still_valid():
+    doc = json.loads(Tracer().to_chrome())
+    assert doc["traceEvents"] == []
+
+
+def test_gaps_query():
+    t = Tracer()
+    t.record("task", "a", "p", 0.0, 1.0)
+    t.record("task", "b", "p", 0.5, 2.0)   # overlaps a -> merged
+    t.record("task", "c", "p", 3.0, 4.0)
+    assert t.gaps("p") == [(2.0, 3.0)]
+    assert t.gaps("unknown-place") == []

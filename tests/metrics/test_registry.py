@@ -1,0 +1,123 @@
+"""Unit tests for the CounterRegistry instrument kinds and export."""
+
+import json
+
+import pytest
+
+from repro.metrics import Counter, CounterRegistry, Gauge, Histogram
+
+
+# ---------------------------------------------------------------- Counter
+
+def test_counter_increments():
+    c = Counter("x")
+    c.inc()
+    c.inc(5)
+    assert c.value == 6
+
+
+def test_counter_rejects_decrease():
+    with pytest.raises(ValueError, match="cannot decrease"):
+        Counter("x").inc(-1)
+
+
+# ------------------------------------------------------------------ Gauge
+
+def test_gauge_tracks_high_water():
+    g = Gauge("g")
+    g.set(5)
+    g.set(2)
+    g.add(1)
+    assert g.value == 3
+    assert g.high_water == 5
+
+
+# -------------------------------------------------------------- Histogram
+
+def test_histogram_summary():
+    h = Histogram("h")
+    for v in (1.0, 3.0, 2.0):
+        h.observe(v)
+    s = h.summary()
+    assert s["count"] == 3
+    assert s["min"] == 1.0
+    assert s["max"] == 3.0
+    assert s["mean"] == pytest.approx(2.0)
+    assert s["total"] == pytest.approx(6.0)
+
+
+def test_empty_histogram_summary_is_zeros():
+    s = Histogram("h").summary()
+    assert s == {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
+                 "mean": 0.0}
+
+
+# --------------------------------------------------------------- Registry
+
+def test_instruments_created_lazily_and_cached():
+    m = CounterRegistry()
+    assert m.counter("a") is m.counter("a")
+    assert m.gauge("b") is m.gauge("b")
+    assert m.histogram("c") is m.histogram("c")
+    assert len(m) == 3
+    assert m.names() == ["a", "b", "c"]
+
+
+def test_name_cannot_change_kind():
+    m = CounterRegistry()
+    m.counter("x")
+    with pytest.raises(ValueError, match="different kind"):
+        m.gauge("x")
+    with pytest.raises(ValueError, match="different kind"):
+        m.histogram("x")
+
+
+def test_shortcuts_and_value():
+    m = CounterRegistry()
+    m.inc("hits")
+    m.inc("hits", 2)
+    m.set_gauge("level", 7)
+    m.observe("dur", 0.5)
+    assert m.value("hits") == 3
+    assert m.value("level") == 7
+    assert m.value("absent", default=-1) == -1
+
+
+def test_scoped_timer_uses_clock():
+    now = {"t": 0.0}
+    m = CounterRegistry(clock=lambda: now["t"])
+    with m.timer("phase"):
+        now["t"] = 2.5
+    s = m.histogram("phase").summary()
+    assert s["count"] == 1
+    assert s["total"] == pytest.approx(2.5)
+
+
+def test_snapshot_shape():
+    m = CounterRegistry()
+    m.inc("c", 4)
+    m.set_gauge("g", 9)
+    m.observe("h", 1.0)
+    snap = m.snapshot()
+    assert snap["c"] == 4
+    assert snap["g"] == 9
+    assert snap["g.high_water"] == 9
+    assert snap["h"]["count"] == 1
+    # JSON round-trips.
+    assert json.loads(m.to_json())["c"] == 4
+
+
+def test_with_prefix_filters():
+    m = CounterRegistry()
+    m.inc("cache.gpu0.hits")
+    m.inc("am.bytes", 10)
+    sub = m.with_prefix("cache.")
+    assert list(sub) == ["cache.gpu0.hits"]
+
+
+def test_reset_forgets_everything():
+    m = CounterRegistry()
+    m.inc("a")
+    m.reset()
+    assert len(m) == 0
+    assert m.snapshot() == {}
