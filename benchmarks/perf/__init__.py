@@ -1,0 +1,5 @@
+"""Wall-clock microbenchmarks for the runtime's hot data structures.
+
+Run ``PYTHONPATH=src python benchmarks/perf/core_bench.py`` to produce
+``BENCH_core.json``.  See docs/PERFORMANCE.md for how to read it.
+"""

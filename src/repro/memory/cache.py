@@ -18,6 +18,7 @@ The coherence layer performs the actual (simulated-time) transfers.
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -69,7 +70,15 @@ class CacheEntry:
 
 
 class SoftwareCache:
-    """Residency tracking + LRU replacement for one device address space."""
+    """Residency tracking + LRU replacement for one device address space.
+
+    Entries live in an :class:`~collections.OrderedDict` kept in
+    least-recently-used order (every hit/insert is an O(1) ``move_to_end``),
+    so victim selection walks exactly the candidates it returns instead of
+    re-sorting the whole cache per eviction.  The dirty set is maintained
+    incrementally alongside, making :meth:`dirty_entries` O(dirty) rather
+    than O(resident).
+    """
 
     def __init__(self, space: AddressSpace, capacity: int,
                  policy: "CachePolicy | str" = CachePolicy.WRITE_BACK,
@@ -79,7 +88,10 @@ class SoftwareCache:
         self.space = space
         self.capacity = capacity
         self.policy = CachePolicy.parse(policy)
-        self._entries: dict[RegionKey, CacheEntry] = {}
+        #: least-recently-used first (touch == move_to_end).
+        self._entries: OrderedDict[RegionKey, CacheEntry] = OrderedDict()
+        #: keys of dirty entries, ordered by when they were first dirtied.
+        self._dirty: dict[RegionKey, None] = {}
         self.bytes_used = 0
         # statistics (mirrored into the registry when one is attached)
         self.hits = 0
@@ -111,7 +123,7 @@ class SoftwareCache:
         return self._entries.get(region.key)
 
     def dirty_entries(self) -> list[CacheEntry]:
-        return [e for e in self._entries.values() if e.dirty]
+        return [self._entries[k] for k in self._dirty]
 
     def resident_regions(self) -> list[Region]:
         return [e.region for e in self._entries.values()]
@@ -132,6 +144,7 @@ class SoftwareCache:
             self._count("misses")
             return False
         ent.last_use = next(_use_clock)
+        self._entries.move_to_end(region.key)
         self.hits += 1
         self._count("hits")
         return True
@@ -147,7 +160,7 @@ class SoftwareCache:
         victims: list[CacheEntry] = []
         freed = 0
         need = nbytes_needed - self.bytes_free
-        for ent in sorted(self._entries.values(), key=lambda e: e.last_use):
+        for ent in self._entries.values():   # LRU order by construction
             if not ent.evictable:
                 continue
             victims.append(ent)
@@ -161,10 +174,13 @@ class SoftwareCache:
 
     def insert(self, region: Region, dirty: bool = False) -> CacheEntry:
         """Add a resident entry.  Space must already have been made."""
-        if region.key in self._entries:
-            ent = self._entries[region.key]
+        ent = self._entries.get(region.key)
+        if ent is not None:
             ent.last_use = next(_use_clock)
-            ent.dirty = ent.dirty or dirty
+            self._entries.move_to_end(region.key)
+            if dirty and not ent.dirty:
+                ent.dirty = True
+                self._dirty[region.key] = None
             return ent
         if region.nbytes > self.bytes_free:
             raise CacheCapacityError(
@@ -173,17 +189,20 @@ class SoftwareCache:
             )
         ent = CacheEntry(region=region, dirty=dirty)
         self._entries[region.key] = ent
+        if dirty:
+            self._dirty[region.key] = None
         self.bytes_used += region.nbytes
         self._count("inserts")
         self._track_usage()
         return ent
 
     def remove(self, region: Region) -> None:
-        ent = self._entries.pop(region.key, None)
+        ent = self._entries.get(region.key)
         if ent is not None:
             if ent.pin_count:
-                self._entries[region.key] = ent
                 raise RuntimeError(f"cannot remove pinned entry {region!r}")
+            del self._entries[region.key]
+            self._dirty.pop(region.key, None)
             self.bytes_used -= ent.nbytes
             self.evictions += 1
             self._count("evictions")
@@ -201,11 +220,15 @@ class SoftwareCache:
 
     # -- dirty tracking ----------------------------------------------------
     def mark_dirty(self, region: Region) -> None:
-        self._entries[region.key].dirty = True
+        ent = self._entries[region.key]
+        if not ent.dirty:
+            ent.dirty = True
+            self._dirty[region.key] = None
 
     def mark_clean(self, region: Region) -> None:
         ent = self._entries.get(region.key)
         if ent is not None and ent.dirty:
             ent.dirty = False
+            del self._dirty[region.key]
             self.writebacks += 1
             self._count("writebacks")

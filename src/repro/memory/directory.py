@@ -10,13 +10,13 @@ perspective a whole remote node is a single device.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 
 from .region import (
     PartialOverlapError,
     Region,
     RegionKey,
-    relation,
 )
 from .space import AddressSpace
 
@@ -37,7 +37,8 @@ class Directory:
         #: Where data lives when nothing else holds it (master host memory).
         self.home = home
         self._entries: dict[RegionKey, DirectoryEntry] = {}
-        #: Per object id, the distinct region shapes seen (for overlap checks).
+        #: Per object id, the distinct region shapes seen (for overlap
+        #: checks), kept sorted by start for bisect lookups.
         self._shapes: dict[int, list[Region]] = {}
         #: optional :class:`~repro.metrics.CounterRegistry`; counters are
         #: namespaced ``directory.*``.
@@ -63,14 +64,25 @@ class Directory:
         return ent
 
     def _check_shape(self, region: Region) -> None:
+        # The stored shapes are pairwise disjoint (entry() only calls this
+        # for unseen keys), so after bisecting by start only the immediate
+        # neighbours of the insertion point can overlap the new region.
         seen = self._shapes.setdefault(region.obj.oid, [])
-        for other in seen:
-            if relation(region, other) == "partial":
-                raise PartialOverlapError(
-                    f"region {region!r} partially overlaps previously used "
-                    f"{other!r}; unsupported (paper Section II.A.3)"
-                )
-        seen.append(region)
+        i = bisect_left(seen, (region.start, region.end),
+                        key=lambda r: (r.start, r.end))
+        if i < len(seen) and seen[i].key == region.key:
+            return
+        other = None
+        if i > 0 and seen[i - 1].end > region.start:
+            other = seen[i - 1]
+        elif i < len(seen) and region.end > seen[i].start:
+            other = seen[i]
+        if other is not None:
+            raise PartialOverlapError(
+                f"region {region!r} partially overlaps previously used "
+                f"{other!r}; unsupported (paper Section II.A.3)"
+            )
+        seen.insert(i, region)
 
     # -- queries -----------------------------------------------------------
     def version(self, region: Region) -> int:

@@ -67,13 +67,25 @@ class DataObject:
 RegionKey = tuple[int, int, int]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Region:
-    """A contiguous element range ``[start, start+length)`` of one object."""
+    """A contiguous element range ``[start, start+length)`` of one object.
+
+    Regions are the keys of every hot lookup in the runtime (dependency
+    graph, directory, caches), so the identity tuple ``key``, its hash, and
+    the derived sizes are computed once at construction instead of on every
+    access.  Equality follows ``key``: object ids are globally unique, so
+    two regions are interchangeable iff their keys match.
+    """
 
     obj: DataObject
     start: int
     length: int
+
+    # Precomputed in __post_init__ (plain attributes, not dataclass fields).
+    key: RegionKey = field(init=False, repr=False, compare=False)
+    end: int = field(init=False, repr=False, compare=False)
+    nbytes: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self):
         if self.length <= 0:
@@ -83,18 +95,20 @@ class Region:
                 f"region [{self.start}, {self.start + self.length}) out of "
                 f"bounds for {self.obj!r}"
             )
+        key = (self.obj.oid, self.start, self.length)
+        object.__setattr__(self, "key", key)
+        object.__setattr__(self, "end", self.start + self.length)
+        object.__setattr__(self, "nbytes",
+                           self.length * self.obj.dtype.itemsize)
+        object.__setattr__(self, "_hash", hash(key))
 
-    @property
-    def key(self) -> RegionKey:
-        return (self.obj.oid, self.start, self.length)
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Region):
+            return NotImplemented
+        return self.key == other.key
 
-    @property
-    def end(self) -> int:
-        return self.start + self.length
-
-    @property
-    def nbytes(self) -> int:
-        return self.length * self.obj.dtype.itemsize
+    def __hash__(self) -> int:
+        return self._hash
 
     def same_object(self, other: "Region") -> bool:
         return self.obj.oid == other.obj.oid

@@ -5,17 +5,29 @@ write-after-read and write-after-write dependences between *sibling* tasks
 (dependences never cross the dynamic extent of a task — that restriction is
 what makes the hierarchical cluster implementation possible, since a remote
 task's children resolve their dependences entirely on the remote node).
+
+Hot-path notes: arc deduplication is a set membership test on task ids
+(``Task.successor_ids``) instead of a list scan, the region-shape validation
+bisects a per-object sorted interval list instead of scanning every shape
+ever seen, and per-region reader lists are compacted of finished tasks once
+they grow, so WAR fan-out is bounded by the *live* reader count.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from ..memory.region import PartialOverlapError, Region, RegionKey, relation
-from .task import Direction, Task, TaskState
+from ..memory.region import PartialOverlapError, Region, RegionKey
+from .task import Task, TaskState
 
 __all__ = ["DependencyGraph"]
+
+#: Reader-list length beyond which finished readers are compacted away.
+_READER_COMPACT_THRESHOLD = 16
+
+_shape_key = (lambda r: (r.start, r.end))
 
 
 @dataclass
@@ -24,6 +36,9 @@ class _RegionState:
 
     last_writer: Optional[Task] = None
     readers_since_write: list[Task] = field(default_factory=list)
+    #: reader-list length that triggers the next finished-reader compaction
+    #: (doubles with the live count, so compaction is amortized O(1)).
+    compact_at: int = _READER_COMPACT_THRESHOLD
 
 
 class DependencyGraph:
@@ -33,6 +48,7 @@ class DependencyGraph:
         #: called when a task has no unfinished predecessors.
         self.on_ready = on_ready
         self._regions: dict[RegionKey, _RegionState] = {}
+        #: per object id, the distinct region shapes seen, sorted by start.
         self._shapes: dict[int, list[Region]] = {}
         self._live_tasks: set[int] = set()
         self.tasks_added = 0
@@ -40,14 +56,27 @@ class DependencyGraph:
 
     # -- bookkeeping ------------------------------------------------------
     def _check_shape(self, region: Region) -> None:
+        """Validate equal-or-disjoint against prior shapes of the object.
+
+        The stored shapes are pairwise disjoint (duplicates never get here:
+        known keys short-circuit in :meth:`_state`), so only the two sorted
+        neighbours of the insertion point can possibly overlap.
+        """
         seen = self._shapes.setdefault(region.obj.oid, [])
-        for other in seen:
-            if relation(region, other) == "partial":
-                raise PartialOverlapError(
-                    f"dependence region {region!r} partially overlaps "
-                    f"{other!r}; unsupported (paper Section II.A.3)"
-                )
-        seen.append(region)
+        i = bisect_left(seen, (region.start, region.end), key=_shape_key)
+        if i < len(seen) and seen[i].key == region.key:
+            return  # exact shape already known
+        other = None
+        if i > 0 and seen[i - 1].end > region.start:
+            other = seen[i - 1]
+        elif i < len(seen) and region.end > seen[i].start:
+            other = seen[i]
+        if other is not None:
+            raise PartialOverlapError(
+                f"dependence region {region!r} partially overlaps "
+                f"{other!r}; unsupported (paper Section II.A.3)"
+            )
+        seen.insert(i, region)
 
     def _state(self, region: Region) -> _RegionState:
         st = self._regions.get(region.key)
@@ -61,8 +90,9 @@ class DependencyGraph:
     def _add_arc(pred: Task, succ: Task) -> bool:
         if pred.state is TaskState.FINISHED or pred is succ:
             return False
-        if succ in pred.successors:
+        if succ.tid in pred.successor_ids:
             return False
+        pred.successor_ids.add(succ.tid)
         pred.successors.append(succ)
         succ.pending_preds += 1
         return True
@@ -91,7 +121,18 @@ class DependencyGraph:
                 st.last_writer = task
                 st.readers_since_write = []
             else:
-                st.readers_since_write.append(task)
+                readers = st.readers_since_write
+                readers.append(task)
+                if len(readers) >= st.compact_at:
+                    # Finished readers can never source a WAR arc again
+                    # (_add_arc skips them); dropping them here keeps the
+                    # next writer's fan-out scan bounded by live readers.
+                    st.readers_since_write = [
+                        t for t in readers
+                        if t.state is not TaskState.FINISHED
+                    ]
+                    st.compact_at = max(_READER_COMPACT_THRESHOLD,
+                                        2 * len(st.readers_since_write))
         if task.pending_preds == 0:
             task.state = TaskState.READY
             if self.on_ready is not None:

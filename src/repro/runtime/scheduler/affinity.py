@@ -42,42 +42,64 @@ class AffinityScheduler(Scheduler):
         self._local[id(worker)] = TaskQueue()
 
     # -- scoring ------------------------------------------------------------
-    def _score(self, task: Task, worker: WorkerProtocol) -> int:
+    def _pulls(self, task: Task) -> list[tuple[int, frozenset, frozenset]]:
+        """One directory resolution per access: ``(weighted bytes, holder
+        spaces, holder node indices)`` tuples, reused to score every
+        candidate worker against the same snapshot (instead of
+        workers x accesses directory lookups)."""
+        pulls = []
+        directory = self.directory
+        for acc in task.accesses:
+            ent = directory.entry(acc.region)
+            if not acc.direction.reads and ent.version == 0:
+                # A pure output over a never-written region: there is no
+                # data anywhere yet (the home entry is just the registration
+                # point), so it exerts no pull.
+                continue
+            # Written data weighs double: keeping the produced (often
+            # dirty) copy where it lives avoids migrating it, and its
+            # next consumer is usually the next task of the same chain.
+            weight = 2 if acc.direction.writes else 1
+            holders = frozenset(ent.holders)
+            nodes = frozenset(s.node_index for s in holders)
+            pulls.append((weight * acc.region.nbytes, holders, nodes))
+        return pulls
+
+    @staticmethod
+    def _score_from(pulls, worker: WorkerProtocol) -> int:
         """Bytes of the task's data currently resident in the worker's
         domain.  GPU workers score their own device space; node proxies (and
         SMP workers) score every space of their node — the hierarchical
         (node-level) view of the directory."""
         score = 0
-        for acc in task.accesses:
-            if (not acc.direction.reads
-                    and self.directory.version(acc.region) == 0):
-                # A pure output over a never-written region: there is no
-                # data anywhere yet (the home entry is just the registration
-                # point), so it exerts no pull.
-                continue
-            holders = self.directory.holders(acc.region)
-            if worker.kind == "gpu":
-                resident = worker.space in holders
-            else:
-                resident = any(s.node_index == worker.node_index
-                               for s in holders)
-            if resident:
-                # Written data weighs double: keeping the produced (often
-                # dirty) copy where it lives avoids migrating it, and its
-                # next consumer is usually the next task of the same chain.
-                weight = 2 if acc.direction.writes else 1
-                score += weight * acc.region.nbytes
+        if worker.kind == "gpu":
+            space = worker.space
+            for nbytes, holders, _nodes in pulls:
+                if space in holders:
+                    score += nbytes
+        else:
+            node = worker.node_index
+            for nbytes, _holders, nodes in pulls:
+                if node in nodes:
+                    score += nbytes
         return score
 
+    def _score(self, task: Task, worker: WorkerProtocol) -> int:
+        """Affinity of one worker for one task (kept for introspection;
+        placement batches via :meth:`_pulls` + :meth:`_score_from`)."""
+        return self._score_from(self._pulls(task), worker)
+
     def _place(self, task: Task) -> None:
+        pulls = self._pulls(task)
         best: Optional[WorkerProtocol] = None
         best_score = 0
-        for worker in self.workers:
-            if not worker.accepts(task):
-                continue
-            score = self._score(task, worker)
-            if score > best_score:
-                best, best_score = worker, score
+        if pulls:
+            for worker in self.workers:
+                if not worker.accepts(task):
+                    continue
+                score = self._score_from(pulls, worker)
+                if score > best_score:
+                    best, best_score = worker, score
         if best is not None:
             self._local[id(best)].push(task)
             return

@@ -17,7 +17,15 @@ __all__ = ["WorkerProtocol", "Scheduler", "TaskQueue"]
 
 
 class WorkerProtocol(Protocol):
-    """What schedulers need to know about an execution place."""
+    """What schedulers need to know about an execution place.
+
+    ``accepts`` must be a pure function of the task's *acceptance
+    signature* — its ``device`` kind and whether it is top-level
+    (``parent is None``).  Every worker in the runtime satisfies this (SMP
+    workers take ``smp`` tasks, GPU managers take ``cuda`` tasks, node
+    proxies take any top-level task); :class:`TaskQueue` relies on it to
+    answer polls without scanning.
+    """
 
     kind: str          # "smp" | "gpu" | "node"
     node_index: int
@@ -26,28 +34,63 @@ class WorkerProtocol(Protocol):
     def accepts(self, task: Task) -> bool: ...
 
 
+def _signature(task: Task) -> tuple[str, bool]:
+    """The acceptance signature TaskQueue buckets by (see WorkerProtocol)."""
+    return (task.device, task.parent is None)
+
+
 class TaskQueue:
-    """FIFO of ready tasks (readiness order) with device-aware extraction."""
+    """FIFO of ready tasks (readiness order) with device-aware extraction.
+
+    Tasks are bucketed by acceptance signature; each bucket is a deque of
+    ``(sequence, task)`` kept in readiness order.  A poll inspects only the
+    head of each bucket (at most four) and pops the acceptable head with the
+    lowest sequence number — the same task the old full scan would have
+    returned, in O(1) amortized instead of O(pending) per poll.
+    """
+
+    __slots__ = ("_buckets", "_size", "_back_seq", "_front_seq")
 
     def __init__(self):
-        self._q: deque[Task] = deque()
+        self._buckets: dict[tuple[str, bool], deque[tuple[int, Task]]] = {}
+        self._size = 0
+        self._back_seq = 0    # increases on push
+        self._front_seq = 0   # decreases on push_front
+
+    def _bucket(self, task: Task) -> deque:
+        sig = _signature(task)
+        bucket = self._buckets.get(sig)
+        if bucket is None:
+            bucket = self._buckets[sig] = deque()
+        return bucket
 
     def push(self, task: Task) -> None:
-        self._q.append(task)
+        self._back_seq += 1
+        self._bucket(task).append((self._back_seq, task))
+        self._size += 1
 
     def push_front(self, task: Task) -> None:
-        self._q.appendleft(task)
+        self._front_seq -= 1
+        self._bucket(task).appendleft((self._front_seq, task))
+        self._size += 1
 
     def pop_for(self, worker: WorkerProtocol) -> Optional[Task]:
         """First queued task the worker can execute (stable order)."""
-        for i, task in enumerate(self._q):
-            if worker.accepts(task):
-                del self._q[i]
-                return task
-        return None
+        best: Optional[deque] = None
+        best_seq = 0
+        for bucket in self._buckets.values():
+            if not bucket:
+                continue
+            seq, task = bucket[0]
+            if (best is None or seq < best_seq) and worker.accepts(task):
+                best, best_seq = bucket, seq
+        if best is None:
+            return None
+        self._size -= 1
+        return best.popleft()[1]
 
     def __len__(self) -> int:
-        return len(self._q)
+        return self._size
 
 
 class Scheduler:
@@ -75,8 +118,11 @@ class Scheduler:
         self.tasks_submitted += 1
         if self.metrics is not None:
             self.metrics.inc("scheduler.ready_submissions")
-            self.metrics.set_gauge("scheduler.pending", self.pending + 1)
         self._place(task)
+        if self.metrics is not None:
+            # Read the gauge after placement: _place may hand the task to a
+            # queue already, so pre-counting would over-report by one.
+            self.metrics.set_gauge("scheduler.pending", self.pending)
         self._notify()
 
     def task_finished(self, task: Task, worker: WorkerProtocol,

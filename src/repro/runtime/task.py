@@ -92,6 +92,8 @@ class Task:
     pending_preds: int = 0
     #: tasks whose dependences include this one.
     successors: list = field(default_factory=list)
+    #: tids mirrored from ``successors`` for O(1) arc deduplication.
+    successor_ids: set = field(default_factory=set, repr=False)
     #: the execution place chosen by the scheduler (worker object).
     assigned_to: Any = None
     #: completion event, set when the runtime registers the task.

@@ -1,0 +1,81 @@
+"""Scenario table for the golden-makespan determinism tests.
+
+Each scenario runs one figure-style configuration at a reduced problem size
+and returns the **simulated** makespan in seconds.  The goldens recorded in
+``test_golden_makespan.py`` were captured from the seed implementation of the
+queues/caches/dependency graph; any data-structure swap in the runtime must
+keep them bit-identical (the structures may get faster, but never reorder
+simulated events).
+
+Run ``PYTHONPATH=src python -m tests.bench.golden_scenarios`` to (re)print
+the golden dict — only do that when a change *intentionally* alters
+simulated-time behaviour, and say so in the commit message.
+"""
+
+from __future__ import annotations
+
+from repro.apps import matmul, nbody, perlin, stream
+from repro.bench.harness import CLUSTER_BEST, fresh_cluster, fresh_multi_gpu
+from repro.runtime.config import RuntimeConfig
+
+__all__ = ["SCENARIOS"]
+
+# Big enough that queues/caches/graph see real churn (hundreds of tasks,
+# evictions, steals), small enough that the whole table runs in seconds.
+_MM = matmul.MatmulSize(n=512, bs=64)          # 8x8 tiles -> 512 mult tasks
+_ST = stream.StreamSize(n=4096, bsize=256, ntimes=3)
+_PL = perlin.PerlinSize(height=128, width=128, rows_per_task=8, steps=3)
+_NB = nbody.NBodySize(n=1024, blocks=8, iters=3)
+
+
+def _mgpu(policy: str, sched: str) -> RuntimeConfig:
+    return RuntimeConfig(functional=False, cache_policy=policy,
+                         scheduler=sched)
+
+
+def _cluster(**overrides) -> RuntimeConfig:
+    params = dict(CLUSTER_BEST)
+    params.update(overrides)
+    return RuntimeConfig(**params)
+
+
+SCENARIOS = {
+    # -- multi-GPU node: every cache policy x scheduler family -------------
+    "matmul-2gpu-nocache-bf": lambda: matmul.run_ompss(
+        fresh_multi_gpu(2), _MM, config=_mgpu("nocache", "bf")).makespan,
+    "matmul-2gpu-wt-default": lambda: matmul.run_ompss(
+        fresh_multi_gpu(2), _MM, config=_mgpu("wt", "default")).makespan,
+    "matmul-2gpu-wb-affinity": lambda: matmul.run_ompss(
+        fresh_multi_gpu(2), _MM, config=_mgpu("wb", "affinity")).makespan,
+    "matmul-4gpu-wb-affinity": lambda: matmul.run_ompss(
+        fresh_multi_gpu(4), _MM, config=_mgpu("wb", "affinity")).makespan,
+    "stream-2gpu-wb-default": lambda: stream.run_ompss(
+        fresh_multi_gpu(2), _ST, config=_mgpu("wb", "default")).makespan,
+    "perlin-2gpu-wb-affinity-flush": lambda: perlin.run_ompss(
+        fresh_multi_gpu(2), _PL, config=_mgpu("wb", "affinity"),
+        flush=True).makespan,
+    "nbody-2gpu-wt-bf": lambda: nbody.run_ompss(
+        fresh_multi_gpu(2), _NB, config=_mgpu("wt", "bf")).makespan,
+    # -- GPU cluster: both wire routings, presend window on/off ------------
+    "matmul-2node-stos-ps4": lambda: matmul.run_ompss(
+        fresh_cluster(2), _MM,
+        config=_cluster(slave_to_slave=True, presend=4),
+        init="smp").makespan,
+    "matmul-4node-mtos-ps0": lambda: matmul.run_ompss(
+        fresh_cluster(4), _MM,
+        config=_cluster(slave_to_slave=False, presend=0),
+        init="seq").makespan,
+    "stream-2node-stos-ps4": lambda: stream.run_ompss(
+        fresh_cluster(2), _ST,
+        config=_cluster(slave_to_slave=True, presend=4)).makespan,
+    "nbody-4node-stos-ps1": lambda: nbody.run_ompss(
+        fresh_cluster(4), _NB,
+        config=_cluster(slave_to_slave=True, presend=1)).makespan,
+}
+
+
+if __name__ == "__main__":
+    print("GOLDEN_MAKESPANS = {")
+    for name, run in SCENARIOS.items():
+        print(f"    {name!r}: {run()!r},")
+    print("}")

@@ -1,0 +1,37 @@
+"""Smoke test for the benchmarks/perf suite: runs, emits valid JSON.
+
+Exercises the same CLI invocation CI uses (``--smoke``), so a crash or a
+schema drift in the microbenchmarks fails tier-1 — timing numbers are never
+asserted on.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_smoke_run_emits_valid_report(tmp_path):
+    out = tmp_path / "BENCH_core.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "benchmarks/perf/core_bench.py"),
+         "--smoke", "--out", str(out)],
+        capture_output=True, text=True, env=env, cwd=REPO, timeout=600)
+    assert proc.returncode == 0, proc.stderr
+    report = json.loads(out.read_text())
+    assert report["schema"] == "repro.bench.core/v1"
+    assert report["mode"] == "smoke"
+    results = report["results"]
+    assert set(results) == {"scheduler", "depgraph", "cache", "end_to_end"}
+    for r in results["scheduler"].values():
+        assert r["tasks_per_sec"] > 0 and r["seed_tasks_per_sec"] > 0
+    assert results["depgraph"]["tasks_per_sec"] > 0
+    assert results["cache"]["ops_per_sec"] > 0
+    assert results["end_to_end"]["wall_seconds"] > 0
+    assert results["end_to_end"]["simulated_makespan"] > 0
