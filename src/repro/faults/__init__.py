@@ -1,0 +1,34 @@
+"""Deterministic fault injection and recovery (``repro.faults``).
+
+Describe what goes wrong in a :class:`FaultPlan`, hand it to
+``RuntimeConfig(fault_plan=...)``, and the :class:`FaultEngine` injects
+the failures at exactly the planned (or seeded-random) points while the
+runtime's recovery machinery — AM retry/backoff with idempotency tokens,
+task re-execution, device blacklisting, replica invalidation and
+producer replay — keeps the computation correct.  See ``docs/FAULTS.md``.
+"""
+
+from .errors import (
+    AMTimeoutError,
+    FaultInjectionError,
+    FaultRecoveryError,
+    RegionLostError,
+    TaskRetryExceeded,
+)
+from .plan import KINDS, FaultEvent, FaultPlan
+from .engine import FaultEngine
+from .invariants import check_coherence, check_quiescent
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "FaultEngine",
+    "KINDS",
+    "FaultInjectionError",
+    "AMTimeoutError",
+    "TaskRetryExceeded",
+    "FaultRecoveryError",
+    "RegionLostError",
+    "check_coherence",
+    "check_quiescent",
+]

@@ -1,0 +1,42 @@
+"""Exception taxonomy for fault injection and recovery.
+
+Recovery is best-effort but never silent: when the runtime cannot restore a
+consistent state it raises one of these instead of computing wrong answers
+or hanging (the chaos suite's "completes or fails loudly" property).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FaultInjectionError",
+    "AMTimeoutError",
+    "TaskRetryExceeded",
+    "FaultRecoveryError",
+    "RegionLostError",
+]
+
+
+class FaultInjectionError(Exception):
+    """Base class for fault-injection and recovery failures."""
+
+
+class AMTimeoutError(FaultInjectionError):
+    """An active message exhausted its retry budget without an ack."""
+
+
+class TaskRetryExceeded(FaultInjectionError):
+    """A task failed more times than the plan's re-execution budget."""
+
+
+class FaultRecoveryError(FaultInjectionError):
+    """The runtime cannot restore a consistent state after a fault
+    (e.g. the sole copy of a region was lost and its producer cannot be
+    replayed side-effect-free)."""
+
+
+class RegionLostError(RuntimeError):
+    """A fetch found no holder for a region (its copies were lost).
+
+    The coherence layer converts this into a wait when a producer replay
+    is pending, and re-raises it otherwise.
+    """

@@ -15,8 +15,10 @@ AM traffic and bulk data contend for the same NIC ports.
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Callable, Optional
 
+from ..faults.errors import AMTimeoutError
 from ..hardware.network import Network
 from ..sim import Environment, Event
 
@@ -34,6 +36,10 @@ class Endpoint:
         self.node_index = node_index
         self._handlers: dict[str, Callable] = {}
         self.received = 0
+        #: idempotency-token dedup table (fault mode): token -> handler
+        #: result, or an Event while the first delivery is still running.
+        self.seen_tokens: dict[int, Any] = {}
+        self.duplicates_suppressed = 0
 
     def register(self, name: str, handler: Callable) -> None:
         """Register ``handler(src, *args)``; may be a generator (process)."""
@@ -65,6 +71,10 @@ class AMLayer:
         #: optional :class:`~repro.metrics.CounterRegistry`; counters are
         #: namespaced ``am.*`` with per-link ``am.link.<src>-><dst>.*``.
         self.metrics = metrics
+        #: fault engine hook; when set, requests run the resilient path
+        #: (watchdog + exponential-backoff retry + idempotency tokens).
+        self.faults = None
+        self._tokens = itertools.count(1)
 
     def endpoint(self, node_index: int) -> Endpoint:
         return self.endpoints[node_index]
@@ -90,6 +100,11 @@ class AMLayer:
             self.metrics.inc(f"{link}.messages")
             self.metrics.inc(f"{link}.bytes", nbytes)
 
+        if self.faults is not None:
+            token = next(self._tokens)
+            return self.env.process(self._resilient_request(
+                token, src, dst, handler, args, nbytes, priority))
+
         def deliver():
             yield self.env.process(self.network.transfer(
                 self.network.nodes[src], self.network.nodes[dst], nbytes,
@@ -105,3 +120,82 @@ class AMLayer:
             return result
 
         return self.env.process(deliver())
+
+    # ------------------------------------------------------------------
+    # Fault-tolerant delivery (active only when a fault engine is attached)
+    # ------------------------------------------------------------------
+    def _resilient_request(self, token: int, src: int, dst: int,
+                           handler: str, args: tuple, nbytes: int,
+                           priority: int):
+        """At-least-once delivery: each attempt races a watchdog; on
+        timeout the sender backs off exponentially and resends with the
+        same idempotency token, so the receiver runs the handler exactly
+        once no matter how many copies arrive."""
+        plan = self.faults.plan
+        backoff = plan.am_backoff
+        for attempt in range(1, plan.am_max_retries + 1):
+            if attempt > 1 and self.metrics is not None:
+                self.metrics.inc("am.retries")
+            outcome = self.faults.am_outcome(src, dst)
+            delivery = self.env.process(self._attempt(
+                token, src, dst, handler, args, nbytes, priority, outcome))
+            watchdog = self.env.timeout(plan.am_timeout)
+            fired = yield delivery | watchdog
+            if delivery in fired:
+                return fired[delivery]
+            # The attempt (or its acknowledgement) was lost: back off.
+            if self.metrics is not None:
+                self.metrics.inc("am.timeouts")
+            yield self.env.timeout(backoff)
+            backoff *= plan.am_backoff_factor
+        raise AMTimeoutError(
+            f"active message {handler!r} {src}->{dst} unacknowledged "
+            f"after {plan.am_max_retries} attempts")
+
+    def _attempt(self, token: int, src: int, dst: int, handler: str,
+                 args: tuple, nbytes: int, priority: int, outcome: str):
+        """One delivery attempt; never completes for lost outcomes (the
+        sender's watchdog handles those)."""
+        if outcome == "blackhole":
+            # A partition: the message cannot even reach the wire.
+            yield Event(self.env)
+            return None  # pragma: no cover - unreachable
+        yield self.env.process(self.network.transfer(
+            self.network.nodes[src], self.network.nodes[dst], nbytes,
+            priority=priority,
+        ))
+        if outcome in ("drop", "corrupt"):
+            # Lost in flight / rejected by the receiver's checksum (the
+            # wire was still occupied either way).
+            yield Event(self.env)
+            return None  # pragma: no cover - unreachable
+        yield self.env.timeout(self.network.nic.am_overhead)
+        endpoint = self.endpoints[dst]
+        if token in endpoint.seen_tokens:
+            # A resend of a request already delivered (its ack was lost):
+            # do not run the handler again — that is the duplicate-delivery
+            # hazard — return the first delivery's result instead.
+            endpoint.duplicates_suppressed += 1
+            if self.metrics is not None:
+                self.metrics.inc("am.duplicates_suppressed")
+            entry = endpoint.seen_tokens[token]
+            if isinstance(entry, Event):
+                result = yield entry   # first delivery still in progress
+            else:
+                result = entry
+        else:
+            marker = Event(self.env)
+            endpoint.seen_tokens[token] = marker
+            fn = endpoint.handler(handler)
+            endpoint.received += 1
+            result = fn(src, *args)
+            if hasattr(result, "send"):
+                result = yield self.env.process(result)
+            endpoint.seen_tokens[token] = result
+            marker.succeed(result)
+        if outcome == "ack_drop":
+            # Delivered and handled, but the acknowledgement vanishes:
+            # the sender will resend and hit the dedup path above.
+            yield Event(self.env)
+            return None  # pragma: no cover - unreachable
+        return result

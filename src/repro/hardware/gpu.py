@@ -17,7 +17,11 @@ from .specs import GPUSpec
 if TYPE_CHECKING:  # pragma: no cover
     from .node import Node
 
-__all__ = ["GPUDevice"]
+__all__ = ["GPUDevice", "DeviceLostError"]
+
+
+class DeviceLostError(RuntimeError):
+    """Work was issued to a GPU that has been lost (fault injection)."""
 
 
 class GPUDevice:
@@ -43,6 +47,9 @@ class GPUDevice:
                             name=f"gpu{index}.dma")
         self.kernels_launched = 0
         self.busy_time = 0.0
+        #: set by the fault engine on a ``gpu_loss`` event; the device
+        #: refuses new kernels afterwards (its manager stops first).
+        self.failed = False
 
     @property
     def mem_capacity(self) -> int:
@@ -52,6 +59,8 @@ class GPUDevice:
         """Process generator: occupy the compute engine for ``duration``."""
         if duration < 0:
             raise ValueError(f"negative kernel duration {duration}")
+        if self.failed:
+            raise DeviceLostError(f"gpu {self.index} has been lost")
         with self.compute.request() as req:
             yield req
             start = self.env.now

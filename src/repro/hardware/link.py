@@ -30,12 +30,16 @@ class Link:
         self._lanes = Resource(env, capacity=lanes, name=name)
         self.bytes_moved = 0
         self.transfer_count = 0
+        #: hold-time multiplier, driven by fault-injection degradation
+        #: windows (1.0 = healthy; multiplying by 1.0 is IEEE-exact, so
+        #: the healthy path is bit-identical to an undegraded link).
+        self.degradation = 1.0
 
     def occupancy(self, nbytes: int) -> float:
         """Time the link is held for an ``nbytes`` transfer."""
         if nbytes < 0:
             raise ValueError(f"negative transfer size {nbytes}")
-        return self.latency + nbytes / self.bandwidth
+        return (self.latency + nbytes / self.bandwidth) * self.degradation
 
     def transfer(self, nbytes: int, priority: int = 0):
         """Process generator: move ``nbytes`` across the link."""

@@ -25,6 +25,9 @@ class Network:
         self.nic = nic
         self.bytes_moved = 0
         self.message_count = 0
+        #: fault engine hook; when set, wire times honor its degradation
+        #: windows (partitions are handled at the AM layer).
+        self.faults = None
 
     def wire_time(self, nbytes: int) -> float:
         return self.nic.latency + nbytes / self.nic.bandwidth
@@ -39,11 +42,14 @@ class Network:
             raise RuntimeError("node has no NIC (not a cluster node)")
         # Hold both endpoints for the duration of the wire transfer.  The
         # sender's tx port is the primary serialization point.
+        wire = self.wire_time(nbytes)
+        if self.faults is not None:
+            wire *= self.faults.link_slowdown(src.index, dst.index)
         with src.nic_tx._lanes.request(priority=priority) as tx_req:
             yield tx_req
             with dst.nic_rx._lanes.request(priority=priority) as rx_req:
                 yield rx_req
-                yield self.env.timeout(self.wire_time(nbytes))
+                yield self.env.timeout(wire)
         src.nic_tx.bytes_moved += nbytes
         src.nic_tx.transfer_count += 1
         dst.nic_rx.bytes_moved += nbytes

@@ -208,6 +208,21 @@ class SoftwareCache:
             self._count("evictions")
             self._track_usage()
 
+    def invalidate_all(self) -> int:
+        """Drop every entry unconditionally — pinned, dirty, everything.
+
+        This models a device loss: the data is gone, so there is nothing
+        to write back and pins are meaningless.  Returns the number of
+        entries discarded."""
+        count = len(self._entries)
+        self._entries.clear()
+        self._dirty.clear()
+        self.bytes_used = 0
+        if count:
+            self._count("fault_invalidations")
+        self._track_usage()
+        return count
+
     # -- pinning (entries in use by a running task) -----------------------
     def pin(self, region: Region) -> None:
         self._entries[region.key].pin_count += 1

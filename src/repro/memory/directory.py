@@ -28,6 +28,10 @@ class DirectoryEntry:
     region: Region
     version: int = 0
     holders: set[AddressSpace] = field(default_factory=set)
+    #: the task that produced the current version (fault-recovery lineage;
+    #: None for registered-but-never-written data, whose home copy is the
+    #: canonical source anyway).
+    producer: object = None
 
 
 class Directory:
@@ -108,10 +112,15 @@ class Directory:
         self._count("copies_recorded")
         self.entry(region).holders.add(space)
 
-    def record_write(self, region: Region, space: AddressSpace) -> None:
-        """``space`` produced a new version; all other copies are stale."""
+    def record_write(self, region: Region, space: AddressSpace,
+                     producer=None) -> None:
+        """``space`` produced a new version; all other copies are stale.
+
+        ``producer`` (a task) records who computed this version, so the
+        fault engine can replay it if every copy is later lost."""
         ent = self.entry(region)
         ent.version += 1
+        ent.producer = producer
         self._count("writes_recorded")
         if self.metrics is not None and len(ent.holders) > 1:
             # Every other holder's copy just became stale.
@@ -134,6 +143,25 @@ class Directory:
                 )
             ent.holders.remove(space)
             self._count("drops_recorded")
+
+    def invalidate_space(self, space: AddressSpace) -> list[Region]:
+        """Discard every replica held by ``space`` (device loss).
+
+        Unlike :meth:`record_drop` this may legitimately strand a region
+        with no holder — the copy is genuinely gone.  Stranded regions are
+        returned so the fault engine can restore them (promote nothing:
+        there is nothing left to promote; it replays the producer)."""
+        orphaned: list[Region] = []
+        dropped = 0
+        for ent in self._entries.values():
+            if space in ent.holders:
+                ent.holders.discard(space)
+                dropped += 1
+                if not ent.holders:
+                    orphaned.append(ent.region)
+        if dropped and self.metrics is not None:
+            self.metrics.inc("directory.fault_invalidations", dropped)
+        return orphaned
 
     def all_regions(self) -> list[Region]:
         return [e.region for e in self._entries.values()]

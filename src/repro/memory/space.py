@@ -23,6 +23,11 @@ class AddressSpace:
     """Base: one physical memory with an identity used by the directory."""
 
     kind = "abstract"
+    #: set by the fault engine when the backing device is lost.  The
+    #: functional buffers are deliberately kept (fault-model assumption:
+    #: transfers already in flight at the instant of the loss complete),
+    #: but the directory never lists a failed space as a holder again.
+    failed = False
 
     def __init__(self, name: str, node_index: int, functional: bool):
         self.name = name

@@ -43,13 +43,23 @@ class NodeProxy:
         self.cache = None
         self.outstanding = 0
         self.tasks_dispatched = 0
+        #: dispatched-but-unacknowledged tasks keyed by tid (Task equality
+        #: recurses through successor lists, so identity keys only).
+        self.inflight: dict[int, Task] = {}
 
     def accepts(self, task: Task) -> bool:
         # A remote node has CPUs and a GPU: it can host either device kind.
         # Decomposition children are local to the image that runs their
         # parent ("executed by any thread that becomes available in the
         # node") and are never shipped through a proxy.
-        return task.parent is None
+        if task.parent is not None:
+            return False
+        if task.device != "cuda" or self.rt.faults is None:
+            return True
+        # Under fault injection a node whose GPUs all died must stop
+        # attracting cuda work, or dispatches would just bounce back.
+        image = self.rt.images[self.node_index]
+        return any(m.alive for m in image.gpu_managers)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<NodeProxy node{self.node_index}>"
@@ -82,6 +92,7 @@ class CommThread:
                         break
                     proxy.outstanding += 1
                     proxy.tasks_dispatched += 1
+                    proxy.inflight[task.tid] = task
                     task.node_index = proxy.node_index
                     metrics = rt.metrics
                     node_ns = f"cluster.node{proxy.node_index}"
@@ -123,10 +134,27 @@ class CommThread:
                              self.env.now)
 
     def on_remote_complete(self, task: Task, node_index: int) -> None:
-        """Handler-side bookkeeping for a task completion message."""
+        """Handler-side bookkeeping for a task completion message.
+
+        Completions are deduplicated against the proxy's in-flight set:
+        an acknowledgement for a task the fault engine already rerouted
+        away from this node (or that a retried message delivered twice)
+        must not decrement the presend window a second time, or the
+        window would leak credit and over-dispatch.
+        """
+        if task.state is TaskState.FINISHED:
+            self.rt.metrics.inc("cluster.stale_completions")
+            return
         finished_proxy = None
         for proxy in self.proxies:
             if proxy.node_index == node_index:
+                if task.tid not in proxy.inflight:
+                    # A completion from a node the task was already pulled
+                    # back from (device blacklisted, task rerouted): the
+                    # dispatch credit was reclaimed by forget_dispatch.
+                    self.rt.metrics.inc("cluster.stale_completions")
+                    return
+                del proxy.inflight[task.tid]
                 proxy.outstanding -= 1
                 assert proxy.outstanding >= 0, "presend window broke"
                 self.rt.metrics.gauge(
@@ -137,3 +165,17 @@ class CommThread:
         # Credit the proxy (not the slave-side worker) so successor-first
         # hints keep follow-up tasks on the same node.
         self.image.account_finished(task, finished_proxy)
+
+    def forget_dispatch(self, task: Task, node_index: int) -> None:
+        """Reclaim the dispatch credit for a task being rerouted off a
+        node (fault recovery).  Idempotent: a completion message that
+        still arrives later is recognised as stale via ``inflight``."""
+        for proxy in self.proxies:
+            if proxy.node_index == node_index:
+                if proxy.inflight.pop(task.tid, None) is not None:
+                    proxy.outstanding -= 1
+                    assert proxy.outstanding >= 0, "presend window broke"
+                    self.rt.metrics.gauge(
+                        f"cluster.node{node_index}.outstanding").set(
+                            proxy.outstanding)
+                return

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from ..faults.errors import RegionLostError
 from ..memory.cache import CachePolicy, SoftwareCache
 from ..memory.region import Region
 from ..memory.space import AddressSpace, DeviceSpace, HostSpace
@@ -97,11 +98,50 @@ class CoherenceEngine:
         cache: Optional[SoftwareCache] = getattr(place, "cache", None)
         space: AddressSpace = place.space
         written = [a for a in copy_accs if a.direction.writes]
+        faults = self.rt.faults
+        if faults is not None:
+            # Cleared until the directory flip below: the executing place
+            # checks it after a device loss to tell a torn commit (requeue
+            # the task) from a completed one (the task really finished).
+            task._committed = False
+        protect = (faults is not None and cache is not None
+                   and faults.plan.protect_outputs)
+        host = self.rt.host_space(space.node_index)
+        if protect:
+            # Checkpoint-on-commit, data first: host memory receives the
+            # new bytes *before* the directory flips to the new version,
+            # so there is no instant at which the sole current copy lives
+            # on the device — a loss mid-commit either leaves the old
+            # version (with its holders) intact, or finds the new one
+            # already salvaged below.  The legs complete even if the
+            # device fails under them: functional buffers survive a
+            # failure exactly so in-flight DMA can drain (see
+            # AddressSpace.failed).
+            for acc in written:
+                yield from self._move_leg(acc.region, space, host, place)
+        lost = faults is not None and space.failed
+        if lost and not protect:
+            # Unprotected torn commit: the outputs died with the device
+            # and were never published.  Leave the old version (still
+            # recorded elsewhere) as current; the caller re-executes.
+            return
         for acc in written:
-            self.directory.record_write(acc.region, space)
-            if cache is not None:
-                cache.mark_dirty(acc.region)
-        if cache is None:
+            owner = host if (lost and protect) else space
+            self.directory.record_write(acc.region, owner, producer=task)
+            if protect and not lost:
+                self.directory.record_copy(acc.region, host)
+            if faults is not None:
+                faults.notify_write(acc.region)
+            if cache is not None and not lost:
+                if protect:
+                    # Host already holds the new version: the entry is
+                    # born clean, nothing to write back on eviction.
+                    cache.mark_clean(acc.region)
+                else:
+                    cache.mark_dirty(acc.region)
+        if faults is not None:
+            task._committed = True
+        if cache is None or lost:
             return
         policy = self.config.cache_policy
         if policy is CachePolicy.WRITE_THROUGH:
@@ -114,14 +154,24 @@ class CoherenceEngine:
             for acc in written:
                 yield from self._writeback(acc.region, space, cache, place)
             for acc in copy_accs:
-                cache.unpin(acc.region)
+                self._safe_unpin(acc.region, cache, faults)
                 ent = cache.entry_or_none(acc.region)
                 if ent is not None and ent.pin_count == 0:
                     self._drop_entry(acc.region, space, cache)
             return
         # WB / WT: just unpin; entries stay resident.
         for acc in copy_accs:
-            cache.unpin(acc.region)
+            self._safe_unpin(acc.region, cache, faults)
+
+    @staticmethod
+    def _safe_unpin(region: Region, cache: SoftwareCache, faults) -> None:
+        """Unpin, tolerating (in fault mode only) an entry that a device
+        loss invalidated while the commit's writebacks were in flight."""
+        if faults is not None:
+            ent = cache.entry_or_none(region)
+            if ent is None or ent.pin_count <= 0:
+                return
+        cache.unpin(region)
 
     # ------------------------------------------------------------------
     # Flushes (taskwait / OpenMP flush semantics)
@@ -217,8 +267,21 @@ class CoherenceEngine:
         done = Event(self.env)
         self._inflight[key] = done
         try:
-            yield from self._fetch_path(region, dst, place)
-            self.directory.record_copy(region, dst)
+            try:
+                yield from self._fetch_path(region, dst, place)
+            except RegionLostError:
+                # Every copy died with a device; if the fault engine is
+                # replaying the producer, wait for the restored version
+                # and retry the path — otherwise the loss is fatal.
+                restore = (self.rt.faults.wait_restored(region)
+                           if self.rt.faults is not None else None)
+                if restore is None:
+                    raise
+                self.rt.metrics.inc("coherence.lost_region_waits")
+                yield restore
+                yield from self._fetch_path(region, dst, place)
+            if not dst.failed:
+                self.directory.record_copy(region, dst)
         finally:
             del self._inflight[key]
             done.succeed()
@@ -226,7 +289,13 @@ class CoherenceEngine:
     def _pick_source(self, region: Region, dst: AddressSpace) -> AddressSpace:
         holders = self.directory.holders(region)
         if not holders:
-            raise RuntimeError(f"no holder for {region!r}")
+            raise RegionLostError(f"no holder for {region!r}")
+        if self.rt.faults is not None:
+            # Deterministic tie-breaks: frozenset iteration order is
+            # id-based and varies run to run; fault-mode timelines must
+            # not (the fault-free path keeps its historical ordering so
+            # golden makespans stay bit-identical).
+            holders = sorted(holders, key=lambda s: s.name)
         same_node = [s for s in holders if s.node_index == dst.node_index]
         for s in same_node:
             if s.kind == "host":

@@ -55,6 +55,12 @@ class RuntimeConfig:
     #: cyclic wins for the paper's workloads because it spreads the tile
     #: sources evenly over the fabric).
     rr_chunk: int = 1
+    #: optional :class:`repro.faults.FaultPlan`.  ``None`` (or an empty
+    #: plan) leaves every fault hook dormant — the simulation schedules not
+    #: a single extra event, so timed results stay bit-identical.  Typed
+    #: ``object`` to keep this module import-light (faults imports runtime
+    #: pieces lazily, not the other way around).
+    fault_plan: object = None
 
     def __post_init__(self):
         object.__setattr__(self, "cache_policy",
@@ -76,6 +82,13 @@ class RuntimeConfig:
             raise ValueError("task_overhead cannot be negative")
         if self.rr_chunk < 1:
             raise ValueError("rr_chunk must be at least 1")
+        if self.fault_plan is not None and not hasattr(
+                self.fault_plan, "is_empty"):
+            # Duck-typed on purpose: importing repro.faults here would
+            # create a cycle (faults -> runtime internals).
+            raise TypeError(
+                f"fault_plan must be a FaultPlan or None, "
+                f"got {type(self.fault_plan).__name__}")
 
     def with_(self, **changes) -> "RuntimeConfig":
         """A copy with the given fields replaced (sweep helper)."""

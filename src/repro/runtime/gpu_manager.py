@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from ..cuda.api import CudaContext
+from ..faults.errors import TaskRetryExceeded
 from ..sim import Event
 from .task import Task, TaskState
 from .worker import resolve_args
@@ -51,9 +52,13 @@ class GPUManager:
                                metrics=self.rt.metrics)
         self.copy_stream = self.ctx.create_stream()
         self.tasks_run = 0
+        #: cleared by the fault engine on a gpu_loss event; the manager
+        #: loop abandons (and requeues) its work and exits.
+        self.alive = True
+        self.current_task: Optional[Task] = None
 
     def accepts(self, task: Task) -> bool:
-        return task.device == "cuda"
+        return task.device == "cuda" and self.alive
 
     @property
     def place_name(self) -> str:
@@ -91,6 +96,9 @@ class GPUManager:
         rt = self.rt
         staged_next: Optional[Task] = None
         while rt.running:
+            if not self.alive:
+                self._abandon(None, staged_next)
+                return
             task = staged_next
             staged_next = None
             if task is None:
@@ -98,17 +106,31 @@ class GPUManager:
             if task is None:
                 yield rt.wait_for_work()
                 continue
+            self.current_task = task
             task.state = TaskState.RUNNING
             task.assigned_to = self
             trace_start = self.env.now
             if rt.config.task_overhead:
                 yield self.env.timeout(rt.config.task_overhead)
+            if not self.alive:
+                self._abandon(task, None)
+                return
             if getattr(task, "_staged", False):
                 # Inputs already on the device: the prefetch paid off.
                 rt.metrics.inc(f"gpu.{self.place_name}.prefetch.hits")
             else:
                 yield from rt.coherence.stage_in(task, self)
-            kernel_done = self._launch(task)
+            if not self.alive:
+                self._abandon(task, None)
+                return
+            faults = rt.faults
+            # Abort-before-side-effects: in fault mode the functional body
+            # is deferred to after the kernel + health checks, so an
+            # aborted or lost kernel never mutates device buffers (an
+            # inout region stays at the version the directory records).
+            aborted = (faults is not None
+                       and faults.kernel_should_abort(self, task))
+            kernel_done = self._launch(task, defer_body=faults is not None)
             rt.metrics.inc(f"gpu.{self.place_name}.kernels")
 
             prefetch_proc = None
@@ -127,7 +149,26 @@ class GPUManager:
                                  kernel_enqueued, self.env.now)
             if prefetch_proc is not None:
                 yield prefetch_proc
+            if not self.alive:
+                self._abandon(task, staged_next)
+                return
+            if aborted:
+                self._requeue(task, "kernel_abort")
+                self.current_task = None
+                continue
+            if faults is not None:
+                self._run_body(task)
             yield from rt.coherence.commit_outputs(task, self)
+            if (faults is not None
+                    and not getattr(task, "_committed", True)):
+                # Torn commit (device died mid-commit without output
+                # protection): nothing was published, re-execute.
+                self._requeue(task, "torn_commit")
+                self.current_task = None
+                if not self.alive:
+                    self._abandon(None, staged_next)
+                    return
+                continue
             if rt.tracer is not None:
                 rt.tracer.record("task", task.name, self.place_name,
                                  trace_start, self.env.now)
@@ -137,6 +178,7 @@ class GPUManager:
             rt.metrics.inc(f"gpu.{self.place_name}.tasks")
             rt.metrics.observe("tasks.cuda.duration",
                                self.env.now - trace_start)
+            self.current_task = None
             self.image.finish_task(task, self)
 
     def _prefetch(self, task: Task):
@@ -144,13 +186,62 @@ class GPUManager:
         yield from self.rt.coherence.stage_in(task, self)
         task._staged = True
 
-    def _launch(self, task: Task) -> Event:
-        """Enqueue the task's kernel; returns the completion event."""
+    def _launch(self, task: Task, defer_body: bool = False) -> Event:
+        """Enqueue the task's kernel; returns the completion event.
+
+        With ``defer_body`` the functional body is *not* attached to the
+        kernel completion — the caller runs it via :meth:`_run_body` only
+        after the launch survives fault checks."""
         func_args: tuple = ()
-        if self.rt.config.functional and task.kernel.func is not None:
+        if (not defer_body and self.rt.config.functional
+                and task.kernel.func is not None):
             func_args = tuple(resolve_args(task, self.space))
         return self.ctx.launch(task.kernel, func_args=func_args,
                                **task.cost_kwargs)
+
+    def _run_body(self, task: Task) -> None:
+        """The deferred functional body (fault mode): mirrors exactly what
+        the stream op would have run at kernel completion."""
+        if self.rt.config.functional and task.kernel.func is not None:
+            func_args = tuple(resolve_args(task, self.space))
+            if func_args:
+                task.kernel.func(*func_args)
+
+    # ------------------------------------------------------------------
+    # Fault recovery (never reached without a fault engine)
+    # ------------------------------------------------------------------
+    def _abandon(self, task: Optional[Task],
+                 staged: Optional[Task]) -> None:
+        """The device died: requeue whatever this loop was holding."""
+        for t in (task, staged):
+            if t is not None:
+                self._requeue(t, "device_lost")
+        self.current_task = None
+
+    def _requeue(self, task: Task, why: str) -> None:
+        """Return a failed (not committed) task to a scheduler.
+
+        The task's inputs are still coherent — commit never ran, so the
+        directory was never updated — which is what makes plain
+        re-execution from the dependency graph's recorded inputs safe."""
+        rt = self.rt
+        if self.cache is not None:
+            for acc in task.copy_accesses:
+                ent = self.cache.entry_or_none(acc.region)
+                if ent is not None and ent.pin_count > 0:
+                    self.cache.unpin(acc.region)
+        task._staged = False
+        task.state = TaskState.READY
+        task.assigned_to = None
+        task.retries += 1
+        if task.retries > rt.faults.plan.max_task_retries:
+            raise TaskRetryExceeded(
+                f"task {task.name!r} failed {task.retries} times "
+                f"(last: {why} on {self.place_name}); giving up")
+        rt.metrics.inc("faults.tasks_reexecuted")
+        rt.faults.note("task_reexecuted",
+                       f"{task.name}:{why}@{self.place_name}")
+        rt.faults.resubmit(self.image, task)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<GPUManager n{self.node_index}.g{self.gpu.index}>"

@@ -15,6 +15,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from ..cuda.kernels import KernelRegistry
+from ..faults import FaultEngine
 from ..gasnet import AMLayer
 from ..hardware.cluster import Machine
 from ..memory.cache import SoftwareCache
@@ -140,6 +141,12 @@ class Image:
     def account_finished(self, task: Task, place) -> None:
         """Master-side graph/scheduler bookkeeping for a finished task."""
         rt = self.rt
+        if task.state is TaskState.FINISHED:
+            # A duplicate completion (a resent acknowledgement, or a task
+            # that was re-dispatched during recovery and finished twice)
+            # must not double-decrement successor counts in the graph.
+            rt.metrics.inc("runtime.duplicate_completions")
+            return
         newly_ready = rt.graph.task_finished(task)
         self.scheduler.task_finished(task, place, newly_ready)
         rt.tasks_finished += 1
@@ -206,6 +213,15 @@ class Runtime:
                        for node in machine.nodes]
         self.master_image = self.images[0]
 
+        # -- fault injection ------------------------------------------------
+        #: FaultEngine when the config carries a non-empty plan; None
+        #: otherwise (an empty plan is treated exactly like no plan, so
+        #: fault-free schedules stay bit-identical).
+        self.faults = None
+        plan = self.config.fault_plan
+        if plan is not None and not plan.is_empty:
+            self.faults = FaultEngine(self, plan)
+
         # -- signalling ------------------------------------------------------------
         self.running = False
         self._work_event = self.env.event()
@@ -256,6 +272,8 @@ class Runtime:
         self.running = True
         for image in self.images:
             image.start()
+        if self.faults is not None:
+            self.faults.start()
         return self
 
     def notify_work(self) -> None:

@@ -41,6 +41,19 @@ class AffinityScheduler(Scheduler):
         super().register_worker(worker)
         self._local[id(worker)] = TaskQueue()
 
+    def blacklist(self, worker: WorkerProtocol) -> list[Task]:
+        stranded = super().blacklist(worker)
+        queue = self._local.pop(id(worker), None)
+        if queue is not None:
+            stranded.extend(queue.drain())
+        return stranded
+
+    def rebalance(self, worker: WorkerProtocol) -> list[Task]:
+        queue = self._local.get(id(worker))
+        if queue is None:
+            return []
+        return queue.drain()
+
     # -- scoring ------------------------------------------------------------
     def _pulls(self, task: Task) -> list[tuple[int, frozenset, frozenset]]:
         """One directory resolution per access: ``(weighted bytes, holder

@@ -89,6 +89,32 @@ class TaskQueue:
         self._size -= 1
         return best.popleft()[1]
 
+    def drain(self) -> list[Task]:
+        """Remove and return every queued task, in readiness order."""
+        items: list[tuple[int, Task]] = []
+        for bucket in self._buckets.values():
+            items.extend(bucket)
+            bucket.clear()
+        self._size = 0
+        items.sort(key=lambda seq_task: seq_task[0])
+        return [task for _seq, task in items]
+
+    def drain_unacceptable(self, workers) -> list[Task]:
+        """Remove tasks no worker in ``workers`` accepts any more (after a
+        blacklist); signature purity means checking each bucket's head is
+        checking the whole bucket."""
+        stranded: list[tuple[int, Task]] = []
+        for bucket in self._buckets.values():
+            if not bucket:
+                continue
+            head = bucket[0][1]
+            if not any(w.accepts(head) for w in workers):
+                stranded.extend(bucket)
+                self._size -= len(bucket)
+                bucket.clear()
+        stranded.sort(key=lambda seq_task: seq_task[0])
+        return [task for _seq, task in stranded]
+
     def __len__(self) -> int:
         return self._size
 
@@ -111,6 +137,25 @@ class Scheduler:
     # -- wiring -----------------------------------------------------------
     def register_worker(self, worker: WorkerProtocol) -> None:
         self.workers.append(worker)
+
+    def blacklist(self, worker: WorkerProtocol) -> list[Task]:
+        """Remove a dead execution place; return the tasks stranded in its
+        queues so the caller (the fault engine) can re-place them."""
+        self.workers = [w for w in self.workers if w is not worker]
+        if self.metrics is not None:
+            self.metrics.inc("scheduler.blacklisted")
+        return []
+
+    def rebalance(self, worker: WorkerProtocol) -> list[Task]:
+        """Drain a still-registered worker's private queue (e.g. a node
+        proxy whose GPU died) so its tasks can be re-placed.  The base
+        scheduler has no private queues."""
+        return []
+
+    def drain_unrunnable(self) -> list[Task]:
+        """Remove queued tasks no remaining worker accepts (called after a
+        blacklist leaves a device bucket with no taker)."""
+        return self.global_queue.drain_unacceptable(self.workers)
 
     # -- protocol ------------------------------------------------------------
     def submit(self, task: Task) -> None:

@@ -28,6 +28,19 @@ class DependencyAwareScheduler(Scheduler):
         super().register_worker(worker)
         self._hints[id(worker)] = TaskQueue()
 
+    def blacklist(self, worker: WorkerProtocol) -> list[Task]:
+        stranded = super().blacklist(worker)
+        queue = self._hints.pop(id(worker), None)
+        if queue is not None:
+            stranded.extend(queue.drain())
+        return stranded
+
+    def rebalance(self, worker: WorkerProtocol) -> list[Task]:
+        queue = self._hints.get(id(worker))
+        if queue is None:
+            return []
+        return queue.drain()
+
     def task_finished(self, task: Task, worker: WorkerProtocol,
                       newly_ready: list[Task]) -> None:
         hint = self._hints.get(id(worker))

@@ -100,6 +100,9 @@ class Task:
     done: Any = None
     #: node index the task has been dispatched to (cluster layer).
     node_index: Optional[int] = None
+    #: re-execution count under fault injection (bounded by
+    #: ``FaultPlan.max_task_retries``).
+    retries: int = 0
 
     def __post_init__(self):
         if self.device not in ("smp", "cuda"):

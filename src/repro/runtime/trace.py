@@ -37,7 +37,7 @@ from typing import Iterable, Optional
 __all__ = ["Tracer", "TraceEvent", "CATEGORIES"]
 
 #: Span categories recorded by the instrumented runtime.
-CATEGORIES = ("task", "kernel", "transfer", "message", "stage")
+CATEGORIES = ("task", "kernel", "transfer", "message", "stage", "fault")
 
 
 @dataclass(frozen=True)

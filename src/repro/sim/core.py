@@ -180,6 +180,26 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
+    def at(self, when: float, callback: Callable[[], None],
+           priority: int = PRIORITY_NORMAL) -> Event:
+        """Schedule ``callback()`` at absolute virtual time ``when``.
+
+        Used by layers that plan wall-clock-independent interventions
+        (e.g. the fault engine's timed device losses).  Returns the
+        underlying event, already triggered — like a :class:`Timeout`.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when} (now is {self._now})")
+        event = Event(self)
+        event.callbacks.append(lambda _ev: callback())
+        event._value = None
+        event._ok = True
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._queue, (when, priority, self._seq, event))
+        return event
+
     def process(self, generator) -> "Process":
         from .process import Process
 

@@ -27,6 +27,12 @@ def test_observability_snippets_run(i, capsys):
     exec(compile(code, f"OBSERVABILITY.md[block {i}]", "exec"), {})
 
 
+@pytest.mark.parametrize("i", range(len(python_blocks("FAULTS.md"))))
+def test_faults_snippets_run(i, capsys):
+    code = python_blocks("FAULTS.md")[i]
+    exec(compile(code, f"FAULTS.md[block {i}]", "exec"), {})
+
+
 def test_architecture_doc_anchors_exist():
     """Every `src/...py` path cited in the architecture tour must exist."""
     text = (DOCS / "ARCHITECTURE.md").read_text()

@@ -1,0 +1,84 @@
+"""Shared machinery for the chaos/fault test suite.
+
+Each scenario is a (machine, app, size) combination run in functional mode,
+so outputs are real NumPy arrays and "recovered correctly" can be asserted
+as bit-identity against the fault-free baseline.  Baselines are computed
+once per process and cached (the fault-free run of a scenario is itself
+deterministic, so one reference is enough for any number of fault plans).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import matmul, nbody, stream
+from repro.bench.harness import fresh_cluster, fresh_multi_gpu
+from repro.runtime.config import RuntimeConfig
+
+__all__ = ["SCENARIOS", "baseline", "run_scenario", "assert_same_outputs"]
+
+_MM = matmul.MatmulSize(n=96, bs=32)               # 3x3 tiles, 27 mults
+_ST = stream.StreamSize(n=1024, bsize=128, ntimes=2)
+_NB = nbody.NBodySize(n=256, blocks=4, iters=2)
+
+_BASE = dict(functional=True, cache_policy="wb", scheduler="affinity",
+             kernel_jitter=0.02, task_overhead=50e-6)
+
+
+def _mm_mgpu(plan):
+    cfg = RuntimeConfig(**_BASE, fault_plan=plan)
+    return matmul.run_ompss(fresh_multi_gpu(2), _MM, config=cfg,
+                            verify=True)
+
+
+def _st_mgpu(plan):
+    cfg = RuntimeConfig(**{**_BASE, "scheduler": "default"},
+                        fault_plan=plan)
+    return stream.run_ompss(fresh_multi_gpu(2), _ST, config=cfg,
+                            verify=True)
+
+
+def _nb_mgpu(plan):
+    cfg = RuntimeConfig(**_BASE, fault_plan=plan)
+    return nbody.run_ompss(fresh_multi_gpu(2), _NB, config=cfg,
+                           verify=True)
+
+
+def _mm_cluster(plan):
+    cfg = RuntimeConfig(**_BASE, presend=2, fault_plan=plan)
+    return matmul.run_ompss(fresh_cluster(2), _MM, config=cfg,
+                            init="smp", verify=True)
+
+
+#: name -> callable(plan) -> AppResult.  ``plan=None`` is the baseline.
+SCENARIOS = {
+    "matmul-mgpu": _mm_mgpu,
+    "stream-mgpu": _st_mgpu,
+    "nbody-mgpu": _nb_mgpu,
+    "matmul-cluster": _mm_cluster,
+}
+
+_baselines: dict = {}
+
+
+def baseline(name: str):
+    """The cached fault-free AppResult of a scenario."""
+    if name not in _baselines:
+        _baselines[name] = SCENARIOS[name](None)
+    return _baselines[name]
+
+
+def run_scenario(name: str, plan):
+    return SCENARIOS[name](plan)
+
+
+def assert_same_outputs(ref, res) -> None:
+    """Outputs must be *bit-identical* to the fault-free run — recovery may
+    cost virtual time but never changes a single result bit."""
+    assert ref.output is not None and res.output is not None
+    assert set(ref.output) == set(res.output)
+    for key, expected in ref.output.items():
+        got = res.output[key]
+        assert expected.dtype == got.dtype
+        assert np.array_equal(expected, got), (
+            f"output {key!r} diverged from the fault-free run")

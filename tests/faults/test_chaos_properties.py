@@ -1,0 +1,117 @@
+"""Property-based chaos suite: random recoverable fault plans must never
+change a single output bit.
+
+Hypothesis draws seeded :class:`FaultPlan`s from the *recoverable* subset
+(aborts, drops, degradations, and loss of at most one of two GPUs) and the
+suite asserts, over real OmpSs runs of the paper's applications:
+
+* results are bit-identical to the fault-free baseline;
+* every recovery action leaves the coherence invariants intact (plans run
+  ``paranoid``, so :func:`repro.faults.check_coherence` gates every step);
+* the run terminates — either everything completes, or a documented error
+  surfaces loudly (no silent hangs, no vanished tasks).
+
+``derandomize=True`` keeps CI reproducible; the ``CHAOS_SEED`` environment
+variable (exercised by the CI seed matrix) shifts the plan seeds instead.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultEvent, FaultPlan
+
+from .helpers import assert_same_outputs, baseline, run_scenario
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "0"))
+
+_CHAOS = settings(max_examples=12, deadline=None, derandomize=True,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def recoverable_plans(draw, scenario: str, cluster: bool = False):
+    """A seeded plan every part of which the runtime can recover from."""
+    horizon = baseline(scenario).makespan
+    events = []
+    if draw(st.booleans()):
+        events.append(FaultEvent(
+            kind="kernel_abort",
+            probability=draw(st.floats(0.02, 0.25))))
+    if draw(st.booleans()):
+        # Losing one of the two GPUs is always survivable; the paranoid
+        # engine checks coherence right after the recovery storm.
+        events.append(FaultEvent(
+            kind="gpu_loss", node=1 if cluster else 0,
+            gpu=0 if cluster else 1,
+            at=draw(st.floats(0.0, horizon))))
+    if draw(st.booleans()):
+        events.append(FaultEvent(
+            kind="pcie_degrade", node=0, gpu=0,
+            at=draw(st.floats(0.0, horizon)),
+            duration=draw(st.floats(horizon * 0.1, horizon)),
+            factor=draw(st.floats(1.0, 6.0))))
+    if cluster:
+        if draw(st.booleans()):
+            events.append(FaultEvent(
+                kind="am_drop", probability=draw(st.floats(0.01, 0.08))))
+        if draw(st.booleans()):
+            events.append(FaultEvent(
+                kind="am_corrupt", probability=draw(st.floats(0.01, 0.06))))
+        if draw(st.booleans()):
+            events.append(FaultEvent(
+                kind="am_ack_drop", probability=draw(st.floats(0.01, 0.06))))
+        if draw(st.booleans()):
+            events.append(FaultEvent(
+                kind="link_degrade", at=draw(st.floats(0.0, horizon)),
+                duration=draw(st.floats(horizon * 0.2, horizon * 2)),
+                factor=draw(st.floats(1.0, 4.0))))
+    seed = draw(st.integers(min_value=0, max_value=2**16)) + CHAOS_SEED
+    return FaultPlan(events=tuple(events), seed=seed, paranoid=True)
+
+
+@_CHAOS
+@given(data=st.data())
+def test_matmul_multigpu_survives_random_plans(data):
+    plan = data.draw(recoverable_plans("matmul-mgpu"))
+    res = run_scenario("matmul-mgpu", plan)
+    assert_same_outputs(baseline("matmul-mgpu"), res)
+
+
+@_CHAOS
+@given(data=st.data())
+def test_stream_multigpu_survives_random_plans(data):
+    plan = data.draw(recoverable_plans("stream-mgpu"))
+    res = run_scenario("stream-mgpu", plan)
+    assert_same_outputs(baseline("stream-mgpu"), res)
+
+
+@_CHAOS
+@given(data=st.data())
+def test_nbody_multigpu_survives_random_plans(data):
+    plan = data.draw(recoverable_plans("nbody-mgpu"))
+    res = run_scenario("nbody-mgpu", plan)
+    assert_same_outputs(baseline("nbody-mgpu"), res)
+
+
+@_CHAOS
+@given(data=st.data())
+def test_matmul_cluster_survives_random_plans(data):
+    plan = data.draw(recoverable_plans("matmul-cluster", cluster=True))
+    res = run_scenario("matmul-cluster", plan)
+    assert_same_outputs(baseline("matmul-cluster"), res)
+
+
+def test_chaos_seed_env_shifts_plans():
+    """The CI seed matrix knob really reaches the drawn plans."""
+    horizon = baseline("matmul-mgpu").makespan
+    plan = FaultPlan(events=(
+        FaultEvent(kind="kernel_abort", probability=0.15),
+        FaultEvent(kind="gpu_loss", node=0, gpu=1, at=horizon * 0.4),
+    ), seed=CHAOS_SEED, paranoid=True)
+    res = run_scenario("matmul-mgpu", plan)
+    assert_same_outputs(baseline("matmul-mgpu"), res)
+    assert res.metrics.get("faults.gpu_lost") == 1

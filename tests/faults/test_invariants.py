@@ -1,0 +1,123 @@
+"""The invariant checkers must *detect* violations, not just bless healthy
+runs — each violation branch is driven directly against a hand-broken
+runtime state."""
+
+from __future__ import annotations
+
+from repro.faults import FaultEvent, FaultPlan, check_coherence, check_quiescent
+from repro.hardware import build_multi_gpu_node
+from repro.runtime import Runtime, RuntimeConfig
+from repro.sim import Environment
+
+
+def make_rt():
+    env = Environment()
+    machine = build_multi_gpu_node(env, num_gpus=2)
+    plan = FaultPlan(events=(
+        FaultEvent(kind="kernel_abort", nth=10**9),   # inert, arms engine
+    ), seed=0)
+    rt = Runtime(machine, RuntimeConfig(
+        functional=False, kernel_jitter=0, task_overhead=0,
+        cache_policy="wb", fault_plan=plan))
+    return rt
+
+
+def gpu_space(rt, i=0):
+    return rt.images[0].gpu_managers[i].space
+
+
+def test_healthy_state_has_no_violations():
+    rt = make_rt()
+    obj = rt.register_array("x", 1024)
+    rt.directory.record_write(obj.whole, rt.master_host)
+    assert check_coherence(rt) == []
+    assert check_quiescent(rt) == []
+
+
+def test_detects_region_with_no_holder():
+    rt = make_rt()
+    obj = rt.register_array("x", 1024)
+    rt.directory.record_write(obj.whole, rt.master_host)
+    rt.directory.entry(obj.whole).holders.clear()
+    problems = check_coherence(rt)
+    assert any("no holder" in p for p in problems)
+    # ...unless its restoration is known to be in flight.
+    assert check_coherence(rt, pending=frozenset({obj.whole.key})) == []
+
+
+def test_detects_holder_on_failed_space():
+    rt = make_rt()
+    obj = rt.register_array("x", 1024)
+    space = gpu_space(rt)
+    rt.directory.record_write(obj.whole, space)
+    space.failed = True
+    problems = check_coherence(rt)
+    assert any("failed space" in p for p in problems)
+
+
+def test_detects_uninvalidated_cache_of_failed_space():
+    rt = make_rt()
+    obj = rt.register_array("x", 1024)
+    cache = rt.images[0].gpu_managers[0].cache
+    cache.insert(obj.whole)
+    cache.space.failed = True
+    problems = check_coherence(rt)
+    assert any("not invalidated" in p for p in problems)
+
+
+def test_detects_byte_accounting_drift():
+    rt = make_rt()
+    obj = rt.register_array("x", 1024)
+    cache = rt.images[0].gpu_managers[0].cache
+    rt.directory.record_write(obj.whole, rt.master_host)
+    rt.directory.record_copy(obj.whole, cache.space)
+    cache.insert(obj.whole)
+    cache.bytes_used += 7
+    problems = check_coherence(rt)
+    assert any("accounting drift" in p for p in problems)
+
+
+def test_detects_stale_dirty_copy():
+    rt = make_rt()
+    obj = rt.register_array("x", 1024)
+    cache = rt.images[0].gpu_managers[0].cache
+    rt.directory.record_write(obj.whole, cache.space)
+    cache.insert(obj.whole, dirty=True)
+    # Someone else publishes a newer version: the dirty copy is now stale.
+    rt.directory.record_write(obj.whole, rt.master_host)
+    problems = check_coherence(rt)
+    assert any("stale dirty" in p for p in problems)
+
+
+def test_detects_multiple_dirty_copies():
+    rt = make_rt()
+    obj = rt.register_array("x", 1024)
+    c0 = rt.images[0].gpu_managers[0].cache
+    c1 = rt.images[0].gpu_managers[1].cache
+    rt.directory.record_write(obj.whole, c0.space)
+    rt.directory.record_copy(obj.whole, c1.space)
+    c0.insert(obj.whole, dirty=True)
+    c1.insert(obj.whole, dirty=True)
+    problems = check_coherence(rt)
+    assert any("multiple dirty" in p for p in problems)
+
+
+def test_quiescent_detects_unfinished_restorations():
+    rt = make_rt()
+    obj = rt.register_array("x", 1024)
+    rt.directory.record_write(obj.whole, rt.master_host)
+    rt.faults._restores[obj.whole.key] = rt.env.event()
+    problems = check_quiescent(rt)
+    assert any("never completed" in p for p in problems)
+
+
+def test_quiescent_detects_leaked_pins():
+    rt = make_rt()
+    obj = rt.register_array("x", 1024)
+    cache = rt.images[0].gpu_managers[0].cache
+    rt.directory.record_write(obj.whole, rt.master_host)
+    rt.directory.record_copy(obj.whole, cache.space)
+    cache.insert(obj.whole)
+    cache.pin(obj.whole)
+    problems = check_quiescent(rt)
+    assert any("still pinned" in p for p in problems)
