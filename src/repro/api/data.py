@@ -38,7 +38,14 @@ class DataView:
     @property
     def np(self) -> np.ndarray:
         """Current canonical contents (functional mode, after a flush)."""
-        return self.handle.np[self.region.start:self.region.end]
+        rt = self.handle.program.rt
+        if rt.sanitizer is not None:
+            # Only this view's range is read — noting the whole object
+            # would charge the program with reads it never made.
+            rt.sanitizer.note_host_read(self.handle.obj, self.region.start,
+                                        self.region.end)
+        array = rt.read_array(self.handle.obj)
+        return array[self.region.start:self.region.end]
 
     def __repr__(self) -> str:
         return f"<DataView {self.region!r}>"
@@ -88,7 +95,10 @@ class DataHandle:
     @property
     def np(self) -> np.ndarray:
         """The canonical master-host array (functional mode)."""
-        return self.program.rt.read_array(self.obj)
+        rt = self.program.rt
+        if rt.sanitizer is not None:
+            rt.sanitizer.note_host_read(self.obj, 0, self.obj.num_elements)
+        return rt.read_array(self.obj)
 
     def __repr__(self) -> str:
         return f"<DataHandle {self.obj!r}>"

@@ -31,7 +31,7 @@ class Program:
     def __init__(self, machine: Optional[Machine] = None,
                  config: Optional[RuntimeConfig] = None,
                  env: Optional[Environment] = None,
-                 tracer=None, metrics=None):
+                 tracer=None, metrics=None, sanitizer=None):
         if machine is None:
             env = env or Environment()
             machine = build_multi_gpu_node(env, num_gpus=1)
@@ -39,7 +39,7 @@ class Program:
         self.machine = machine
         self.config = config or RuntimeConfig()
         self.rt = Runtime(machine, self.config, tracer=tracer,
-                          metrics=metrics)
+                          metrics=metrics, sanitizer=sanitizer)
         self._makespan: Optional[float] = None
 
     # -- data ----------------------------------------------------------------
@@ -77,6 +77,13 @@ class Program:
         if self._makespan is None:
             raise RuntimeError("run() has not completed yet")
         return self._makespan
+
+    # -- correctness tooling ---------------------------------------------------
+    @property
+    def sanitizer(self):
+        """The active :class:`~repro.sanitizer.Sanitizer` (None unless one
+        was passed in or installed via ``repro.sanitizer.install()``)."""
+        return self.rt.sanitizer
 
     # -- metrics --------------------------------------------------------------
     @property

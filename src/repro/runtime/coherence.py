@@ -76,11 +76,17 @@ class CoherenceEngine:
             yield  # pragma: no cover - generator marker
         cache: Optional[SoftwareCache] = getattr(place, "cache", None)
         space: AddressSpace = place.space
+        sanitizer = self.rt.sanitizer
         fetches = []
         for acc in copy_accs:
             if cache is not None:
                 yield from self._allocate_and_pin(acc.region, cache)
             if acc.direction.reads:
+                if (sanitizer is not None
+                        and not self.directory.is_current(acc.region, space)):
+                    # A real input transfer is about to happen — remembered
+                    # so an unused input clause can report the wasted bytes.
+                    sanitizer.note_stage_in(task, acc.region)
                 fetches.append(self.env.process(
                     self._fetch(acc.region, space, place)))
             elif self.config.functional and cache is not None:
@@ -125,9 +131,12 @@ class CoherenceEngine:
             # and were never published.  Leave the old version (still
             # recorded elsewhere) as current; the caller re-executes.
             return
+        sanitizer = self.rt.sanitizer
         for acc in written:
             owner = host if (lost and protect) else space
             self.directory.record_write(acc.region, owner, producer=task)
+            if sanitizer is not None:
+                sanitizer.note_commit(task, acc.region, self.env.now)
             if protect and not lost:
                 self.directory.record_copy(acc.region, host)
             if faults is not None:

@@ -47,6 +47,12 @@ class DependencyGraph:
     def __init__(self, on_ready: Optional[Callable[[Task], None]] = None):
         #: called when a task has no unfinished predecessors.
         self.on_ready = on_ready
+        #: optional ``(pred, succ, region, kind, created)`` callback — the
+        #: annotation sanitizer's arc-provenance tap.  It fires on *every*
+        #: arc attempt (deduplicated ones included, with created=False) so
+        #: an arc owed to several regions names all of them; None (the
+        #: default) keeps the hot path a single predictable branch.
+        self.arc_observer: Optional[Callable] = None
         self._regions: dict[RegionKey, _RegionState] = {}
         #: per object id, the distinct region shapes seen, sorted by start.
         self._shapes: dict[int, list[Region]] = {}
@@ -86,16 +92,18 @@ class DependencyGraph:
             self._regions[region.key] = st
         return st
 
-    @staticmethod
-    def _add_arc(pred: Task, succ: Task) -> bool:
+    def _add_arc(self, pred: Task, succ: Task, region: Region,
+                 kind: str) -> bool:
         if pred.state is TaskState.FINISHED or pred is succ:
             return False
-        if succ.tid in pred.successor_ids:
-            return False
-        pred.successor_ids.add(succ.tid)
-        pred.successors.append(succ)
-        succ.pending_preds += 1
-        return True
+        created = succ.tid not in pred.successor_ids
+        if created:
+            pred.successor_ids.add(succ.tid)
+            pred.successors.append(succ)
+            succ.pending_preds += 1
+        if self.arc_observer is not None:
+            self.arc_observer(pred, succ, region, kind, created)
+        return created
 
     # -- public protocol ---------------------------------------------------
     def add_task(self, task: Task) -> bool:
@@ -104,15 +112,16 @@ class DependencyGraph:
         self._live_tasks.add(task.tid)
         for acc in task.accesses:
             st = self._state(acc.region)
+            region = acc.region
             if acc.direction.reads and st.last_writer is not None:
-                if self._add_arc(st.last_writer, task):      # RAW
+                if self._add_arc(st.last_writer, task, region, "raw"):
                     self.arcs_created += 1
             if acc.direction.writes:
                 if st.last_writer is not None:
-                    if self._add_arc(st.last_writer, task):  # WAW
+                    if self._add_arc(st.last_writer, task, region, "waw"):
                         self.arcs_created += 1
                 for reader in st.readers_since_write:
-                    if self._add_arc(reader, task):          # WAR
+                    if self._add_arc(reader, task, region, "war"):
                         self.arcs_created += 1
         # Second pass: update per-region state.
         for acc in task.accesses:

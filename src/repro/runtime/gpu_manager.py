@@ -195,7 +195,8 @@ class GPUManager:
         func_args: tuple = ()
         if (not defer_body and self.rt.config.functional
                 and task.kernel.func is not None):
-            func_args = tuple(resolve_args(task, self.space))
+            func_args = tuple(resolve_args(task, self.space,
+                                           self.rt.sanitizer))
         return self.ctx.launch(task.kernel, func_args=func_args,
                                **task.cost_kwargs)
 
@@ -203,7 +204,8 @@ class GPUManager:
         """The deferred functional body (fault mode): mirrors exactly what
         the stream op would have run at kernel completion."""
         if self.rt.config.functional and task.kernel.func is not None:
-            func_args = tuple(resolve_args(task, self.space))
+            func_args = tuple(resolve_args(task, self.space,
+                                           self.rt.sanitizer))
             if func_args:
                 task.kernel.func(*func_args)
 

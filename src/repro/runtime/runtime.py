@@ -101,18 +101,25 @@ class Image:
             done.succeed()
             return done
         graph = DependencyGraph()
+        sanitizer = self.rt.sanitizer
+        if sanitizer is not None:
+            graph.arc_observer = sanitizer.note_arc
         parent._child_graph = graph
         parent._children_left = len(children)
         parent._children_done = done
         for child in children:
             child.parent = parent
             child.done = self.rt.env.event()
+            if sanitizer is not None:
+                sanitizer.note_submit(child, parent=parent)
             if graph.add_task(child):
                 self.submit_local(child)
         return done
 
     def finish_task(self, task: Task, place) -> None:
         """Called by the executing place when a task's body has committed."""
+        if self.rt.sanitizer is not None:
+            self.rt.sanitizer.note_task_finish(task)
         if task.parent is not None:
             self._account_child(task, place)
         elif self.is_master:
@@ -163,7 +170,8 @@ class Runtime:
                  config: Optional[RuntimeConfig] = None,
                  kernel_registry: Optional[KernelRegistry] = None,
                  tracer=None,
-                 metrics: Optional[CounterRegistry] = None):
+                 metrics: Optional[CounterRegistry] = None,
+                 sanitizer=None):
         self.machine = machine
         self.env: Environment = machine.env
         self.config = config or RuntimeConfig()
@@ -200,6 +208,22 @@ class Runtime:
                                    metrics=self.metrics)
         self.coherence = CoherenceEngine(self)
         self.graph = DependencyGraph()
+
+        # -- annotation sanitizer -------------------------------------------
+        #: the active :class:`~repro.sanitizer.Sanitizer`, or None.  Picked
+        #: up from ``repro.sanitizer.install()`` when not passed explicitly
+        #: (lazy import: the sanitizer is an optional layer on top of the
+        #: runtime, mirroring how ``fault_plan`` stays duck-typed).  Every
+        #: hook below is gated on this attribute and none of them touches
+        #: the simulated clock, so a disabled run executes the identical
+        #: instruction stream and an enabled run keeps identical timestamps.
+        if sanitizer is None:
+            from ..sanitizer.core import current_sanitizer
+            sanitizer = current_sanitizer()
+        self.sanitizer = sanitizer
+        if sanitizer is not None:
+            sanitizer.attach(self)
+            self.graph.arc_observer = sanitizer.note_arc
 
         # -- cluster fabric ------------------------------------------------------
         self.am: Optional[AMLayer] = None
@@ -318,6 +342,8 @@ class Runtime:
         task.done = self.env.event()
         self.tasks_submitted += 1
         self.metrics.inc("runtime.tasks_submitted")
+        if self.sanitizer is not None:
+            self.sanitizer.note_submit(task)
         ready = self.graph.add_task(task)
         self.metrics.set_gauge("runtime.tasks_live", self.graph.live_count)
         if ready:
@@ -332,6 +358,8 @@ class Runtime:
             yield self.wait_for_completion()
         if not noflush:
             yield from self.coherence.flush()
+        if self.sanitizer is not None:
+            self.sanitizer.note_taskwait()
 
     def taskwait_on(self, regions: list[Region], noflush: bool = False):
         """Process generator: the ``taskwait on(...)`` construct — wait only
@@ -345,6 +373,8 @@ class Runtime:
             yield self.env.all_of(producers)
         if not noflush:
             yield from self.coherence.flush(regions)
+        if self.sanitizer is not None:
+            self.sanitizer.note_taskwait_on(regions)
 
     def run_main(self, main_generator) -> float:
         """Execute a main program (a generator using submit/taskwait) to

@@ -37,7 +37,8 @@ from typing import Iterable, Optional
 __all__ = ["Tracer", "TraceEvent", "CATEGORIES"]
 
 #: Span categories recorded by the instrumented runtime.
-CATEGORIES = ("task", "kernel", "transfer", "message", "stage", "fault")
+CATEGORIES = ("task", "kernel", "transfer", "message", "stage", "fault",
+              "sanitizer")
 
 
 @dataclass(frozen=True)

@@ -13,15 +13,20 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["SMPWorker", "resolve_args"]
 
 
-def resolve_args(task: Task, space) -> list:
+def resolve_args(task: Task, space, sanitizer=None) -> list:
     """Replace Region placeholders in the task's args with space buffers.
 
     Read regions resolve via ``space.read`` (the fetched copy); written
     regions via ``space.writable`` (allocated on demand), so the body mutates
     the executing space's storage in place.
+
+    With a ``sanitizer`` the resolved buffers are wrapped in watched views
+    (same memory — functional results are unchanged) so the body's actual
+    reads and writes are recorded against the declared clauses.
     """
     directions = {a.region.key: a.direction
                   for a in (*task.accesses, *task.copies)}
+    record = sanitizer.begin_task(task) if sanitizer is not None else None
 
     def one(region: Region):
         direction = directions.get(region.key)
@@ -30,9 +35,11 @@ def resolve_args(task: Task, space) -> list:
                 f"task {task.name!r} passes region {region!r} without a "
                 "dependence clause for it"
             )
-        if direction.writes:
-            return space.writable(region)
-        return space.read(region)
+        buf = (space.writable(region) if direction.writes
+               else space.read(region))
+        if record is not None:
+            buf = sanitizer.watch_buffer(record, region, buf)
+        return buf
 
     resolved = []
     for arg in task.args:
@@ -89,7 +96,7 @@ class SMPWorker:
         duration = task.smp_duration(self.node.spec.cpu)
         yield self.env.process(self.node.run_cpu_work(duration))
         if self.rt.config.functional and task.func is not None:
-            task.func(*resolve_args(task, self.space))
+            task.func(*resolve_args(task, self.space, self.rt.sanitizer))
         yield from self.rt.coherence.commit_outputs(task, self)
         if self.rt.tracer is not None:
             self.rt.tracer.record("task", task.name, self.place_name,

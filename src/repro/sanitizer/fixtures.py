@@ -1,0 +1,146 @@
+"""Intentionally misannotated mini-apps: the sanitizer's regression prey.
+
+Each fixture seeds exactly one class of annotation bug from the issue's
+taxonomy and runs a tiny program under :func:`~repro.sanitizer.install`;
+``EXPECTED`` records the exact ``(kind, task, obj)`` triples each fixture
+must produce (and nothing else), which both the unit tests and the CI
+sanitizer-smoke job assert against.
+
+These are *fixtures*, not examples — the annotation style here is wrong
+on purpose.  docs/SANITIZER.md shows the corrected versions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..api import Program, task
+from ..hardware.cluster import Machine, build_multi_gpu_node
+from ..runtime.config import RuntimeConfig
+from ..sim import Environment
+from .core import Sanitizer, install
+
+__all__ = ["FIXTURES", "EXPECTED", "run_fixture"]
+
+
+# ----------------------------------------------------------------------
+# Fixture 1: under-declared write (and the race it creates)
+# ----------------------------------------------------------------------
+@task(inputs=("src",), outputs=("dst",), cost=1e-3, label="leaky_scale")
+def leaky_scale(src, dst, n):
+    dst[:] = 2.0 * src
+    src[:] = 0.0          # BUG: writes a region declared input
+
+
+@task(inputs=("src",), cost=1e-3, label="reader")
+def reader(src, n):
+    float(src.sum())      # a pure read of the same region
+
+
+def _fixture_under_declared_write(machine: Machine) -> Sanitizer:
+    """``leaky_scale`` scribbles over its input while ``reader`` runs
+    concurrently: an under-declared write *and* the race it implies."""
+    with install() as san:
+        prog = Program(machine, RuntimeConfig())
+        a = prog.array("a", 64)
+        b = prog.array("b", 64)
+
+        def main():
+            leaky_scale(a[0:64], b[0:64], 64)
+            reader(a[0:64], 64)
+            yield from prog.taskwait()
+
+        prog.run(main())
+    return san
+
+
+# ----------------------------------------------------------------------
+# Fixture 2: unused inout clause (a false dependency with a price)
+# ----------------------------------------------------------------------
+@task(outputs=("data",), cost=1e-3, label="produce")
+def produce(data, n):
+    data[:] = np.arange(n, dtype=np.float32)
+
+
+@task(inputs=("data",), inouts=("extra",), cost=1e-3, label="consume")
+def consume(data, extra, n):
+    float(data.sum())     # BUG: `extra` is declared inout but never touched
+
+
+@task(outputs=("extra",), cost=1e-3, label="write_extra")
+def write_extra(extra, n):
+    extra[:] = 1.0
+
+
+def _fixture_unused_inout(machine: Machine) -> Sanitizer:
+    """``consume`` declares ``inout(extra)`` it never touches, so
+    ``write_extra`` serializes behind it for no reason — the finding
+    carries the estimated makespan cost of that false WAW arc."""
+    with install() as san:
+        prog = Program(machine, RuntimeConfig())
+        data = prog.array("data", 64)
+        extra = prog.array("extra", 64)
+
+        def main():
+            produce(data[0:64], 64)
+            consume(data[0:64], extra[0:64], 64)
+            write_extra(extra[0:64], 64)
+            yield from prog.taskwait()
+
+        prog.run(main())
+    return san
+
+
+# ----------------------------------------------------------------------
+# Fixture 3: missing taskwait before a host read
+# ----------------------------------------------------------------------
+@task(outputs=("out",), cost=1e-3, label="writer")
+def writer(out, n):
+    out[:] = 7.0
+
+
+def _fixture_missing_taskwait(machine: Machine) -> Sanitizer:
+    """The host reads ``c.np`` right after submitting ``writer`` — the
+    sampled schedule may even produce the right bytes, but no taskwait
+    orders the read after the write."""
+    with install() as san:
+        prog = Program(machine, RuntimeConfig())
+        c = prog.array("c", 64)
+
+        def main():
+            writer(c[0:64], 64)
+            float(c.np.sum())         # BUG: no taskwait before this read
+            yield from prog.taskwait()
+            float(c.np.sum())         # fine: synchronized and flushed
+
+        prog.run(main())
+    return san
+
+
+#: fixture name -> runner(machine) -> Sanitizer
+FIXTURES = {
+    "under-declared-write": _fixture_under_declared_write,
+    "unused-inout": _fixture_unused_inout,
+    "missing-taskwait": _fixture_missing_taskwait,
+}
+
+#: fixture name -> the exact (kind, task, obj) triples it must yield.
+EXPECTED = {
+    "under-declared-write": {
+        ("under-declared-write", "leaky_scale", "a"),
+        ("race", "leaky_scale ~ reader", "a"),
+    },
+    "unused-inout": {
+        ("unused-clause", "consume", "extra"),
+    },
+    "missing-taskwait": {
+        ("missing-taskwait", "writer", "c"),
+    },
+}
+
+
+def run_fixture(name: str, machine: Machine | None = None) -> Sanitizer:
+    """Run one fixture; returns its (validated) sanitizer."""
+    if machine is None:
+        machine = build_multi_gpu_node(Environment(), num_gpus=1)
+    return FIXTURES[name](machine)

@@ -1,0 +1,172 @@
+"""Buffer instrumentation: record what a task body *actually* does.
+
+``resolve_args`` hands task bodies views into the executing address
+space's storage.  With a sanitizer installed each view is wrapped in a
+:class:`WatchedBuffer` — an ``ndarray`` subclass sharing the same memory
+(in-place writes still land in the space, so functional results are
+unchanged) that counts reads and writes into a per-(task, region)
+:class:`BufferWatch`.
+
+Interception points:
+
+* ``__getitem__`` / ``__array__`` — reads (slicing, ``np.asarray``);
+* ``__setitem__`` — a write, plus a read of the assigned value when it
+  is itself watched (``c[:] = a`` reads ``a``);
+* ``__array_ufunc__`` — ufunc inputs are reads, ``out=`` targets are
+  writes (``b[:] = scalar * c``, ``cm += am @ bm``);
+* ``__array_function__`` — the non-ufunc API (``np.concatenate``,
+  ``np.dot``): positional watched arrays are reads, ``out=`` is a write.
+
+All protocols convert watched operands to base ``ndarray`` views before
+dispatching, so results are plain arrays — temporaries never carry a
+watch and never record phantom accesses.  The watch also remembers the
+*first* operation: a body whose first touch of an ``output`` region is a
+read consumed stale bytes even though it later wrote the region.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BufferWatch", "WatchedBuffer", "wrap"]
+
+
+class BufferWatch:
+    """Access counts for one region buffer within one task execution."""
+
+    __slots__ = ("region", "declared", "reads", "writes", "first")
+
+    def __init__(self, region, declared):
+        #: the Region this buffer resolves (its key identifies the clause).
+        self.region = region
+        #: declared Direction, or None for a copy-only (no dependence) clause.
+        self.declared = declared
+        self.reads = 0
+        self.writes = 0
+        #: "read" or "write" — the first observed operation, None if untouched.
+        self.first: str | None = None
+
+    def note_read(self) -> None:
+        self.reads += 1
+        if self.first is None:
+            self.first = "read"
+
+    def note_write(self) -> None:
+        self.writes += 1
+        if self.first is None:
+            self.first = "write"
+
+    @property
+    def touched(self) -> bool:
+        return self.first is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<BufferWatch {self.region!r} r={self.reads} "
+                f"w={self.writes} first={self.first}>")
+
+
+def _unwatch(value):
+    """Strip watches from a value tree before dispatching to numpy."""
+    if isinstance(value, WatchedBuffer):
+        return value.view(np.ndarray)
+    if isinstance(value, (list, tuple)):
+        stripped = [_unwatch(v) for v in value]
+        return type(value)(stripped) if isinstance(value, tuple) else stripped
+    if isinstance(value, dict):
+        return {k: _unwatch(v) for k, v in value.items()}
+    return value
+
+
+def _note_reads(value) -> None:
+    if isinstance(value, WatchedBuffer):
+        w = value._repro_watch
+        if w is not None:
+            w.note_read()
+    elif isinstance(value, (list, tuple)):
+        for v in value:
+            _note_reads(v)
+    elif isinstance(value, dict):
+        for v in value.values():
+            _note_reads(v)
+
+
+class WatchedBuffer(np.ndarray):
+    """An ndarray view that records accesses into its BufferWatch.
+
+    Views derived from a watched buffer (``reshape``, basic slicing)
+    inherit the watch via ``__array_finalize__``, so a body that reshapes
+    its argument and writes the reshaped view is still observed.
+    """
+
+    _repro_watch: BufferWatch | None = None
+
+    def __array_finalize__(self, obj):
+        self._repro_watch = getattr(obj, "_repro_watch", None)
+
+    # -- element access ----------------------------------------------------
+    def __getitem__(self, index):
+        w = self._repro_watch
+        if w is not None:
+            w.note_read()
+        return super().__getitem__(index)
+
+    def __setitem__(self, index, value):
+        w = self._repro_watch
+        if w is not None:
+            w.note_write()
+        _note_reads(value)
+        super().__setitem__(index, _unwatch(value))
+
+    # -- numpy protocols ---------------------------------------------------
+    def __array__(self, dtype=None, copy=None):
+        w = self._repro_watch
+        if w is not None:
+            w.note_read()
+        base = self.view(np.ndarray)
+        if dtype is not None and base.dtype != np.dtype(dtype):
+            return base.astype(dtype)
+        if copy:
+            return base.copy()
+        return base
+
+    def __array_ufunc__(self, ufunc, method, *inputs, **kwargs):
+        out = kwargs.get("out", ())
+        if not isinstance(out, tuple):
+            out = (out,)
+        # Inputs are genuinely read first (so `c += a` on an output-declared
+        # c records the stale read), then out targets are written.
+        for value in inputs:
+            _note_reads(value)
+        if method == "at":
+            # ufunc.at(a, idx, b): operates on inputs[0] in place.
+            if inputs and isinstance(inputs[0], WatchedBuffer):
+                w = inputs[0]._repro_watch
+                if w is not None:
+                    w.note_write()
+        for target in out:
+            if isinstance(target, WatchedBuffer):
+                w = target._repro_watch
+                if w is not None:
+                    w.note_write()
+        stripped_inputs = tuple(_unwatch(v) for v in inputs)
+        if "out" in kwargs:
+            kwargs["out"] = tuple(_unwatch(t) for t in out)
+        return getattr(ufunc, method)(*stripped_inputs, **kwargs)
+
+    def __array_function__(self, func, types, args, kwargs):
+        out = kwargs.get("out")
+        for target in (out if isinstance(out, tuple) else (out,)):
+            if isinstance(target, WatchedBuffer):
+                w = target._repro_watch
+                if w is not None:
+                    w.note_write()
+        _note_reads(args)
+        _note_reads({k: v for k, v in kwargs.items() if k != "out"})
+        return func(*_unwatch(args), **_unwatch(kwargs))
+
+
+def wrap(buffer: np.ndarray, watch: BufferWatch) -> WatchedBuffer:
+    """A watched view over ``buffer`` (shares memory; writes land in it)."""
+    view = buffer.view(WatchedBuffer)
+    view._repro_watch = watch
+    return view

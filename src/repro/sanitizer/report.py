@@ -1,0 +1,18 @@
+"""Plain-text rendering of sanitizer findings (the CLI's output)."""
+
+from __future__ import annotations
+
+from .core import Finding
+
+__all__ = ["render_report"]
+
+
+def render_report(findings: list[Finding], title: str = "sanitizer") -> str:
+    """A human-readable report; one block per finding, races first."""
+    lines = [f"== {title}: "
+             + (f"{sum(f.count for f in findings)} finding(s) "
+                f"in {len(findings)} group(s) =="
+                if findings else "clean (no findings) ==")]
+    for f in findings:
+        lines.append(f"  {f.describe()}")
+    return "\n".join(lines)

@@ -33,6 +33,22 @@ def test_faults_snippets_run(i, capsys):
     exec(compile(code, f"FAULTS.md[block {i}]", "exec"), {})
 
 
+@pytest.mark.parametrize("i", range(len(python_blocks("SANITIZER.md"))))
+def test_sanitizer_snippets_run(i, capsys):
+    code = python_blocks("SANITIZER.md")[i]
+    exec(compile(code, f"SANITIZER.md[block {i}]", "exec"), {})
+
+
+def test_docs_readme_links_resolve():
+    """docs/README.md is the index — every link target must exist."""
+    text = (DOCS / "README.md").read_text()
+    targets = re.findall(r"\]\(([\w./-]+)\)", text)
+    assert targets
+    missing = [t for t in targets
+               if not (DOCS / t).exists() and not (DOCS.parent / t).exists()]
+    assert not missing, f"dangling links in docs/README.md: {missing}"
+
+
 def test_architecture_doc_anchors_exist():
     """Every `src/...py` path cited in the architecture tour must exist."""
     text = (DOCS / "ARCHITECTURE.md").read_text()

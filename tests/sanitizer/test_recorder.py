@@ -1,0 +1,100 @@
+"""Unit tests for the ndarray access recorder (WatchedBuffer).
+
+These run outside any simulation: wrap a plain array, poke it the way
+kernel bodies do, and check what the watch recorded.
+"""
+
+import numpy as np
+
+from repro.memory.region import DataObject
+from repro.sanitizer import BufferWatch, WatchedBuffer, wrap
+
+
+def _watch(n=8):
+    obj = DataObject("buf", n, np.float32)
+    return BufferWatch(obj.whole, declared="inout")
+
+
+def _wrapped(n=8):
+    w = _watch(n)
+    return wrap(np.zeros(n, dtype=np.float32), w), w
+
+
+def test_getitem_records_read():
+    buf, w = _wrapped()
+    _ = buf[2]
+    assert w.reads == 1 and w.writes == 0 and w.first == "read"
+
+
+def test_setitem_records_write_first():
+    buf, w = _wrapped()
+    buf[:] = 1.0
+    assert w.writes == 1 and w.first == "write"
+
+
+def test_augmented_assign_is_read_then_write():
+    """``buf += x`` reads the old value before writing — first must be
+    'read', which is what distinguishes inout from output misuse."""
+    buf, w = _wrapped()
+    buf += 1.0
+    assert w.reads >= 1 and w.writes >= 1
+    assert w.first == "read"
+
+
+def test_ufunc_reads_inputs_writes_out():
+    buf, w = _wrapped()
+    src_w = _watch()
+    src = wrap(np.ones(8, dtype=np.float32), src_w)
+    np.multiply(src, 2.0, out=buf)
+    assert src_w.reads >= 1 and src_w.writes == 0
+    assert buf._repro_watch.writes >= 1
+    assert w.first == "write"
+
+
+def test_ufunc_result_is_plain_ndarray():
+    """Temporaries must not inherit the watch — ``2 * buf`` produces a
+    scratch array whose later mutation is not an access to the region."""
+    buf, w = _wrapped()
+    tmp = 2.0 * buf
+    reads_after = w.reads
+    tmp[:] = 0.0                      # mutating the temporary
+    assert w.writes == 0
+    assert w.reads == reads_after
+
+
+def test_views_and_reshape_share_the_watch():
+    buf, w = _wrapped()
+    sub = buf[2:6]
+    assert isinstance(sub, WatchedBuffer)
+    sub[:] = 3.0
+    assert w.writes >= 1
+    r = buf.reshape(2, 4)
+    _ = r[0, 0]
+    assert w.reads >= 1
+
+
+def test_reduction_records_read():
+    buf, w = _wrapped()
+    float(buf.sum())
+    assert w.reads >= 1 and w.writes == 0
+
+
+def test_array_function_protocol_records_reads():
+    buf, w = _wrapped()
+    out = np.concatenate([buf, buf])
+    assert w.reads >= 1
+    assert not isinstance(out, WatchedBuffer) or out._repro_watch is None
+
+
+def test_wrap_shares_memory_with_base():
+    base = np.zeros(8, dtype=np.float32)
+    buf, _ = wrap(base, _watch()), None
+    buf[:] = 9.0
+    assert base[0] == 9.0
+
+
+def test_touched_property():
+    buf, w = _wrapped()
+    assert not w.touched
+    _ = buf[0]
+    assert w.touched
