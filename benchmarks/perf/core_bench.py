@@ -208,9 +208,9 @@ def bench_scheduler(n: int) -> dict:
                 popped += 1
         return time.perf_counter() - t0
 
-    current = Scheduler(notify=lambda: None)
+    current = Scheduler(notify=lambda *a: None)
     elapsed = drive(current, _queue_tasks(n))
-    seed = Scheduler(notify=lambda: None)
+    seed = Scheduler(notify=lambda *a: None)
     seed.global_queue = SeedTaskQueue()
     seed_elapsed = drive(seed, _queue_tasks(n))
     return {
@@ -307,20 +307,31 @@ def bench_cache(ops: int, resident: int = 1000) -> dict:
     }
 
 
-def bench_end_to_end(smoke: bool) -> dict:
-    """Wall-clock of one figure-style run (matmul, 2 GPUs, wb + affinity)."""
+def bench_end_to_end(smoke: bool, repeats: int = 3) -> dict:
+    """Wall-clock of one figure-style run (matmul, 2 GPUs, wb + affinity).
+
+    Best-of-``repeats`` wall time; engine throughput comes from the run's
+    own ``engine.*`` gauges (see ``Runtime.run_main``), so the events/sec
+    figure excludes program-construction time outside the event loop.
+    """
     size = matmul.MatmulSize(n=256, bs=64) if smoke \
         else matmul.MatmulSize(n=1024, bs=128)
     cfg = RuntimeConfig(functional=False, cache_policy="wb",
                         scheduler="affinity")
-    t0 = time.perf_counter()
-    res = matmul.run_ompss(fresh_multi_gpu(2), size, config=cfg)
-    wall = time.perf_counter() - t0
+    best_wall, best = float("inf"), None
+    for _ in range(1 if smoke else repeats):
+        t0 = time.perf_counter()
+        res = matmul.run_ompss(fresh_multi_gpu(2), size, config=cfg)
+        wall = time.perf_counter() - t0
+        if wall < best_wall:
+            best_wall, best = wall, res
     return {
         "figure": f"matmul-2gpu-wb-affinity-n{size.n}",
-        "wall_seconds": wall,
-        "simulated_makespan": res.makespan,
-        "sim_events_per_wall_second": None,  # reserved for a future PR
+        "wall_seconds": best_wall,
+        "simulated_makespan": best.makespan,
+        "sim_events_processed": best.metrics.get("engine.events_processed"),
+        "sim_events_per_wall_second":
+            best.metrics.get("engine.events_per_wall_second"),
     }
 
 
@@ -367,8 +378,10 @@ def main(argv=None) -> int:
             print(f"{name}: {rate:,.0f} {unit} "
                   f"({res['speedup']:.1f}x vs seed)")
         else:
+            eps = res.get("sim_events_per_wall_second") or 0.0
             print(f"{name}: {res['wall_seconds']:.2f} s wall, "
-                  f"{res['simulated_makespan'] * 1e3:.2f} ms simulated")
+                  f"{res['simulated_makespan'] * 1e3:.2f} ms simulated, "
+                  f"{eps:,.0f} events/s")
     print(f"wrote {args.out}")
     return 0
 

@@ -1,0 +1,148 @@
+"""End-to-end throughput regression gate.
+
+Measures ``sim_events_per_wall_second`` on the canonical end-to-end figure
+point (matmul, 2 GPUs, write-back + affinity — the same run BENCH_core.json
+reports) and fails when it regresses more than the tolerance against the
+checked-in baseline, ``perf_baseline.json``.
+
+Raw events/sec is machine-dependent, so the gated quantity is *normalized
+throughput*: events/sec divided by a calibration score measured in the same
+process — a fixed pure-Python workload (function calls, dict traffic, heap
+churn: the same operation mix the engine hot path is made of).  The ratio
+cancels most of the host-speed difference between the machine that wrote
+the baseline and the machine running the gate, which is what makes a
+checked-in number gateable on CI at all.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/perf_gate.py            # gate
+    PYTHONPATH=src python benchmarks/perf/perf_gate.py --update   # rebase
+    PYTHONPATH=src python benchmarks/perf/perf_gate.py --quick    # CI mode
+
+Quick mode shrinks the matrix (256 vs 1024) so the whole gate runs in a
+few seconds; baseline entries are kept per mode, so quick and full runs
+never gate against each other's numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import heapq
+import json
+import os
+import time
+
+from repro.apps import matmul
+from repro.bench.harness import fresh_multi_gpu
+from repro.runtime.config import RuntimeConfig
+
+SCHEMA = "repro.bench.perf_gate/v1"
+BASELINE_PATH = os.path.join(os.path.dirname(__file__),
+                             "perf_baseline.json")
+
+
+def calibrate(rounds: int = 3, n: int = 60_000) -> float:
+    """Host speed score: iterations/sec of an engine-shaped Python loop."""
+
+    def one_round() -> float:
+        heap: list = []
+        d: dict = {}
+        total = 0
+        t0 = time.perf_counter()
+        for i in range(n):
+            heapq.heappush(heap, (i % 97, i))
+            d[i % 512] = i
+            total += d.get((i * 7) % 512, 0)
+            if heap and i % 3 == 0:
+                heapq.heappop(heap)
+        elapsed = time.perf_counter() - t0
+        assert total >= 0
+        return n / elapsed
+
+    return max(one_round() for _ in range(rounds))
+
+
+def measure(quick: bool, repeats: int = 5) -> dict:
+    """Best-of-``repeats`` end-to-end run; returns throughput numbers."""
+    size = matmul.MatmulSize(n=256, bs=64) if quick \
+        else matmul.MatmulSize(n=1024, bs=128)
+    cfg = RuntimeConfig(functional=False, cache_policy="wb",
+                        scheduler="affinity")
+    best = None
+    for _ in range(repeats):
+        res = matmul.run_ompss(fresh_multi_gpu(2), size, config=cfg)
+        eps = res.metrics["engine.events_per_wall_second"]
+        if best is None or eps > best["events_per_wall_second"]:
+            best = {
+                "events_per_wall_second": eps,
+                "events_processed": res.metrics["engine.events_processed"],
+                "makespan": res.makespan,
+            }
+    return best
+
+
+def run_gate(quick: bool, update: bool, tolerance: float,
+             baseline_path: str = BASELINE_PATH) -> int:
+    mode = "quick" if quick else "full"
+    calibration = calibrate()
+    result = measure(quick)
+    normalized = result["events_per_wall_second"] / calibration
+    print(f"mode: {mode}")
+    print(f"calibration: {calibration:,.0f} iters/s")
+    print(f"throughput: {result['events_per_wall_second']:,.0f} events/s "
+          f"({result['events_processed']} events)")
+    print(f"normalized: {normalized:.4f}")
+
+    baseline = {}
+    if os.path.exists(baseline_path):
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+
+    if update:
+        baseline.setdefault("schema", SCHEMA)
+        baseline["tolerance"] = tolerance
+        baseline.setdefault("modes", {})[mode] = {
+            "normalized_throughput": normalized,
+            "events_per_wall_second": result["events_per_wall_second"],
+            "calibration": calibration,
+            "events_processed": result["events_processed"],
+        }
+        with open(baseline_path, "w") as fh:
+            json.dump(baseline, fh, indent=1)
+            fh.write("\n")
+        print(f"baseline updated: {baseline_path}")
+        return 0
+
+    entry = baseline.get("modes", {}).get(mode)
+    if entry is None:
+        print(f"no {mode!r} baseline in {baseline_path}; "
+              "run with --update to create one")
+        return 2
+    floor = entry["normalized_throughput"] * (1.0 - tolerance)
+    verdict = "PASS" if normalized >= floor else "FAIL"
+    print(f"baseline normalized: {entry['normalized_throughput']:.4f} "
+          f"(floor at -{tolerance:.0%}: {floor:.4f}) -> {verdict}")
+    if verdict == "FAIL":
+        print("end-to-end throughput regressed beyond tolerance; if the "
+              "slowdown is intentional, rebase with --update")
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small matrix (CI mode; seconds, not minutes)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline with this run's numbers")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional regression (default 0.20)")
+    parser.add_argument("--baseline", default=BASELINE_PATH,
+                        help="baseline file (default: perf_baseline.json "
+                             "next to this script)")
+    args = parser.parse_args(argv)
+    return run_gate(args.quick, args.update, args.tolerance, args.baseline)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,6 +42,23 @@ class TaskFunction:
         self.label = label or fn.__name__
         self.signature = inspect.signature(fn)
         params = list(self.signature.parameters)
+        # Binding happens on every task creation — the figure sweeps create
+        # hundreds of thousands of tasks — so the signature is flattened
+        # once into (names, defaults) and bound by hand in __call__ instead
+        # of through inspect's BoundArguments machinery.
+        self._param_names: tuple[str, ...] = tuple(params)
+        self._defaults = {
+            name: p.default
+            for name, p in self.signature.parameters.items()
+            if p.default is not inspect.Parameter.empty
+        }
+        for p in self.signature.parameters.values():
+            if p.kind not in (p.POSITIONAL_OR_KEYWORD, p.KEYWORD_ONLY):
+                raise ValueError(
+                    f"task {self.label!r} parameter {p.name!r} uses "
+                    f"unsupported kind {p.kind.description!r} (tasks bind "
+                    "plain positional/keyword parameters only)"
+                )
         self.clauses: dict[str, Direction] = {}
         for names, direction in ((inputs, Direction.IN),
                                  (outputs, Direction.OUT),
@@ -67,6 +84,9 @@ class TaskFunction:
         self.copy_clauses: dict[str, Direction] = {}
         self._kernel: Optional[KernelSpec] = None
         self._kernel_wrapped = False
+        #: lazily computed parameter-name set of an external KernelSpec's
+        #: cost model (resolved once, not per task creation).
+        self._cost_params: Optional[set] = None
 
     # -- target construct wiring ---------------------------------------------
     def set_target(self, device: str, copy_deps: bool,
@@ -88,6 +108,7 @@ class TaskFunction:
         self.device = device
         self.copy_deps = copy_deps
         if device == "cuda":
+            self._cost_params = None
             cost = self.cost
             if isinstance(cost, KernelSpec):
                 # Library kernel (e.g. CUBLAS sgemm): its cost model takes
@@ -108,13 +129,45 @@ class TaskFunction:
                 )
 
     # -- task creation ----------------------------------------------------------
+    def _bind(self, args: tuple, kwargs: dict) -> dict:
+        """Map call arguments to parameter names, in declaration order
+        (hand-rolled ``signature.bind(...).apply_defaults()``)."""
+        names = self._param_names
+        npos = len(args)
+        if npos > len(names):
+            raise TypeError(
+                f"task {self.label!r} takes {len(names)} arguments "
+                f"({npos} given)")
+        arguments: dict = {}
+        for i, name in enumerate(names):
+            if i < npos:
+                if name in kwargs:
+                    raise TypeError(
+                        f"task {self.label!r} got multiple values for "
+                        f"argument {name!r}")
+                arguments[name] = args[i]
+            elif name in kwargs:
+                arguments[name] = kwargs[name]
+            else:
+                try:
+                    arguments[name] = self._defaults[name]
+                except KeyError:
+                    raise TypeError(
+                        f"task {self.label!r} missing required argument "
+                        f"{name!r}") from None
+        for name in kwargs:
+            if name not in names:
+                raise TypeError(
+                    f"task {self.label!r} got an unexpected keyword "
+                    f"argument {name!r}")
+        return arguments
+
     def __call__(self, *args, **kwargs) -> Task:
-        bound = self.signature.bind(*args, **kwargs)
-        bound.apply_defaults()
+        arguments = self._bind(args, kwargs)
         accesses = []
         program = None
         for name, direction in self.clauses.items():
-            value = bound.arguments[name]
+            value = arguments[name]
             if isinstance(value, DataView):
                 accesses.append(Access(value.region, direction))
                 program = value.handle.program
@@ -132,17 +185,9 @@ class TaskFunction:
                     f"non-empty list of them), got {type(value).__name__}"
                 )
 
-        def to_placeholder(value):
-            if isinstance(value, DataView):
-                return value.region
-            if (isinstance(value, (list, tuple)) and value
-                    and all(isinstance(v, DataView) for v in value)):
-                return tuple(v.region for v in value)
-            return value
-
         copies = []
         for name, direction in self.copy_clauses.items():
-            value = bound.arguments[name]
+            value = arguments[name]
             if not isinstance(value, DataView):
                 raise TypeError(
                     f"argument {name!r} of task {self.label!r} carries a "
@@ -152,13 +197,21 @@ class TaskFunction:
             copies.append(Access(value.region, direction))
             program = program or value.handle.program
 
-        task_args = tuple(to_placeholder(v) for v in bound.arguments.values())
-        scalars = {
-            name: value for name, value in bound.arguments.items()
-            if not isinstance(value, DataView)
-            and not (isinstance(value, (list, tuple)) and value
-                     and all(isinstance(v, DataView) for v in value))
-        }
+        # Placeholder substitution and scalar extraction in one pass:
+        # DataViews become their regions, lists of views become region
+        # tuples, everything else rides through and feeds the cost model.
+        task_args = []
+        scalars = {}
+        for name, value in arguments.items():
+            if isinstance(value, DataView):
+                task_args.append(value.region)
+            elif (isinstance(value, (list, tuple)) and value
+                  and all(isinstance(v, DataView) for v in value)):
+                task_args.append(tuple(v.region for v in value))
+            else:
+                task_args.append(value)
+                scalars[name] = value
+        task_args = tuple(task_args)
         if self.device == "cuda":
             t = Task(
                 name=self.label, device="cuda", kernel=self._kernel,
@@ -184,8 +237,10 @@ class TaskFunction:
     def _cost_kwargs(self, scalars: dict) -> dict:
         """Cost kwargs when an externally registered KernelSpec is used:
         pass the scalar arguments straight through."""
-        cost_params = set(
-            inspect.signature(self._kernel.cost).parameters) - {"spec"}
+        cost_params = self._cost_params
+        if cost_params is None:
+            cost_params = self._cost_params = set(
+                inspect.signature(self._kernel.cost).parameters) - {"spec"}
         return {k: v for k, v in scalars.items() if k in cost_params}
 
     def __repr__(self) -> str:

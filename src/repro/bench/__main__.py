@@ -2,6 +2,10 @@
 
 Targets: ``fig5`` ... ``fig13``, ``table1``, or ``all``.  Each prints the
 same series/table the benchmark suite asserts against (EXPERIMENTS.md).
+
+``--parallel N`` fans each figure's points out over ``N`` worker processes
+(one fresh process per point; see :mod:`repro.bench.sweep`).  Output is
+bit-identical to a serial run — only the wall clock changes.
 """
 
 from __future__ import annotations
@@ -42,7 +46,14 @@ def main(argv=None) -> int:
         "targets", nargs="*", default=["all"],
         help=f"any of: {', '.join(FIGURES)}, table1, all",
     )
+    parser.add_argument(
+        "--parallel", type=int, default=0, metavar="N",
+        help="run each figure's points on N worker processes "
+             "(default: serial in-process)",
+    )
     args = parser.parse_args(argv)
+    if args.parallel < 0:
+        parser.error("--parallel must be >= 0")
 
     targets = args.targets or ["all"]
     if "all" in targets:
@@ -57,7 +68,7 @@ def main(argv=None) -> int:
         if fn is None:
             parser.error(f"unknown target {name!r}")
         start = time.time()
-        result = fn()
+        result = fn(parallel=args.parallel)
         print(result.render())
         print(f"[regenerated in {time.time() - start:.1f}s wall]\n")
     return 0

@@ -4,13 +4,19 @@ Each ``figN()`` runs the corresponding sweep at the paper's problem sizes in
 performance mode and returns a :class:`FigureResult` whose series mirror the
 published chart's bars/lines.  Absolute values are simulated-hardware
 numbers; the *shapes* are what EXPERIMENTS.md validates against the paper.
+
+Every figure is declared as a grid of independent :class:`~.sweep.PointSpec`
+points (``figN_points()``), which is what lets ``figN(parallel=K)`` — and
+``python -m repro.bench --parallel K`` — fan a sweep out across processes
+with bit-identical results (see :mod:`repro.bench.sweep`).
 """
 
 from __future__ import annotations
 
 from ..apps import matmul, nbody, perlin, stream
 from ..runtime.config import RuntimeConfig
-from .harness import CLUSTER_BEST, FigureResult, fresh_cluster, fresh_multi_gpu
+from .harness import CLUSTER_BEST, FigureResult
+from .sweep import PointSpec, run_points
 
 __all__ = ["fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
            "fig12", "fig13", "MULTI_GPU_COUNTS", "CLUSTER_NODE_COUNTS"]
@@ -31,117 +37,155 @@ SCHEDULERS = ("bf", "default", "affinity")
 NBODY_STRESS = nbody.NBodySize(n=20_000_000, blocks=16, iters=10)
 
 
+def _assemble(result: FigureResult,
+              points: "list[PointSpec]", parallel: int) -> FigureResult:
+    """Run a figure's points (serial or fanned out) and fill its series.
+
+    Points arrive grouped by series, each series in x order, so appending
+    metrics in spec order rebuilds exactly the lists the serial loops
+    produced.  Points flagged ``want_metrics`` (the largest x of selected
+    series) attach their counter snapshot, as before.
+    """
+    values = run_points(points, parallel=parallel)
+    for spec, val in zip(points, values):
+        result.series.setdefault(spec.series, []).append(val["metric"])
+        if spec.want_metrics and val["metrics"]:
+            result.attach_metrics(spec.series, val["metrics"])
+    return result
+
+
 # ---------------------------------------------------------------------------
 # Multi-GPU environment (Figs. 5-8)
 # ---------------------------------------------------------------------------
 
-def _multi_gpu_sweep(run_one, title: str, unit: str,
-                     gpu_counts=MULTI_GPU_COUNTS,
-                     figure: str = "") -> FigureResult:
-    result = FigureResult(figure=figure, title=title, x_label="GPUs",
-                          xs=list(gpu_counts), unit=unit)
+def _multi_gpu_points(figure: str, app: str, sizes: dict,
+                      gpu_counts=MULTI_GPU_COUNTS) -> "list[PointSpec]":
+    """The Fig. 5/6 grid: cache policy x scheduler x GPU count.
+
+    Mechanism counters of the largest run explain each series' shape
+    (cache hits per policy, bytes migrated per scheduler), so only that
+    point requests its snapshot.
+    """
+    points = []
     for policy in CACHE_POLICIES:
         for sched in SCHEDULERS:
             label = f"{policy}-{sched}"
-            values = []
             for g in gpu_counts:
-                cfg = RuntimeConfig(functional=False, cache_policy=policy,
-                                    scheduler=sched)
-                app = run_one(fresh_multi_gpu(g), cfg)
-                values.append(app.metric)
-            # Mechanism counters of the largest run explain the series'
-            # shape (cache hits per policy, bytes migrated per scheduler).
-            result.attach_metrics(label, app.metrics)
-            result.add(label, values)
-    return result
+                points.append(PointSpec(
+                    figure=figure, series=label, x=g, app=app,
+                    machine="multi_gpu", count=g, size=sizes[g],
+                    config=RuntimeConfig(functional=False,
+                                         cache_policy=policy,
+                                         scheduler=sched),
+                    want_metrics=(g == gpu_counts[-1])))
+    return points
 
 
-def fig5() -> FigureResult:
+def fig5_points() -> "list[PointSpec]":
+    sizes = {g: matmul.PAPER_MATMUL for g in MULTI_GPU_COUNTS}
+    return _multi_gpu_points("fig5", "matmul", sizes)
+
+
+def fig5(parallel: int = 0) -> FigureResult:
     """Matmul on the multi-GPU node: GFLOP/s per cache policy x scheduler."""
-    size = matmul.PAPER_MATMUL
-
-    def run_one(machine, cfg):
-        return matmul.run_ompss(machine, size, config=cfg)
-
-    return _multi_gpu_sweep(run_one, "Matrix multiply, multi-GPU node",
-                            "GFLOP/s", figure="Figure 5")
+    result = FigureResult(figure="Figure 5",
+                          title="Matrix multiply, multi-GPU node",
+                          x_label="GPUs", xs=list(MULTI_GPU_COUNTS),
+                          unit="GFLOP/s")
+    return _assemble(result, fig5_points(), parallel)
 
 
-def fig6() -> FigureResult:
+def fig6_points() -> "list[PointSpec]":
+    sizes = {g: stream.paper_stream_size(g) for g in MULTI_GPU_COUNTS}
+    return _multi_gpu_points("fig6", "stream", sizes)
+
+
+def fig6(parallel: int = 0) -> FigureResult:
     """STREAM on the multi-GPU node: aggregate GB/s per configuration."""
-
-    def run_one(machine, cfg):
-        size = stream.paper_stream_size(machine.total_gpus)
-        return stream.run_ompss(machine, size, config=cfg)
-
-    return _multi_gpu_sweep(run_one, "STREAM, multi-GPU node", "GB/s",
-                            figure="Figure 6")
+    result = FigureResult(figure="Figure 6", title="STREAM, multi-GPU node",
+                          x_label="GPUs", xs=list(MULTI_GPU_COUNTS),
+                          unit="GB/s")
+    return _assemble(result, fig6_points(), parallel)
 
 
-def fig7() -> FigureResult:
+def fig7_points() -> "list[PointSpec]":
+    points = []
+    for variant, flush in (("flush", True), ("noflush", False)):
+        for policy in CACHE_POLICIES:
+            for g in MULTI_GPU_COUNTS:
+                points.append(PointSpec(
+                    figure="fig7", series=f"{variant}-{policy}", x=g,
+                    app="perlin", machine="multi_gpu", count=g,
+                    size=perlin.PAPER_PERLIN,
+                    config=RuntimeConfig(functional=False,
+                                         cache_policy=policy),
+                    run_kwargs={"flush": flush}))
+    return points
+
+
+def fig7(parallel: int = 0) -> FigureResult:
     """Perlin noise on the multi-GPU node: Mpixels/s, Flush vs NoFlush."""
-    size = perlin.PAPER_PERLIN
     result = FigureResult(figure="Figure 7",
                           title="Perlin noise, multi-GPU node",
                           x_label="GPUs", xs=list(MULTI_GPU_COUNTS),
                           unit="Mpixels/s")
-    for variant, flush in (("flush", True), ("noflush", False)):
-        for policy in CACHE_POLICIES:
-            values = []
-            for g in MULTI_GPU_COUNTS:
-                cfg = RuntimeConfig(functional=False, cache_policy=policy)
-                values.append(perlin.run_ompss(fresh_multi_gpu(g), size,
-                                               config=cfg,
-                                               flush=flush).metric)
-            result.add(f"{variant}-{policy}", values)
-    return result
+    return _assemble(result, fig7_points(), parallel)
 
 
-def fig8() -> FigureResult:
+def fig8_points() -> "list[PointSpec]":
+    points = []
+    for policy in CACHE_POLICIES:
+        for g in (2, 4):
+            points.append(PointSpec(
+                figure="fig8", series=policy, x=g, app="nbody",
+                machine="multi_gpu", count=g, size=NBODY_STRESS,
+                config=RuntimeConfig(functional=False, cache_policy=policy),
+                run_kwargs={"fresh_buffers": True}))
+    return points
+
+
+def fig8(parallel: int = 0) -> FigureResult:
     """N-Body on the multi-GPU node: the no-cache policy wins under GPU
     memory pressure (delayed write-back + replacement cost)."""
     result = FigureResult(figure="Figure 8",
                           title="N-Body, multi-GPU node (memory stress)",
                           x_label="GPUs", xs=[2, 4], unit="GFLOP/s")
-    for policy in CACHE_POLICIES:
-        values = []
-        for g in (2, 4):
-            cfg = RuntimeConfig(functional=False, cache_policy=policy)
-            values.append(nbody.run_ompss(fresh_multi_gpu(g), NBODY_STRESS,
-                                          config=cfg,
-                                          fresh_buffers=True).metric)
-        result.add(policy, values)
     result.notes.append(
         f"body count scaled to {NBODY_STRESS.n} to reach the paper's GPU "
         "memory pressure regime (see DESIGN.md)")
-    return result
+    return _assemble(result, fig8_points(), parallel)
 
 
 # ---------------------------------------------------------------------------
 # GPU cluster environment (Figs. 9-13)
 # ---------------------------------------------------------------------------
 
-def fig9(presends=(0, 1, 4)) -> FigureResult:
+def fig9_points(presends=(0, 1, 4)) -> "list[PointSpec]":
+    points = []
+    for stos in (False, True):
+        for init in ("seq", "smp", "gpu"):
+            for ps in presends:
+                label = f"{'StoS' if stos else 'MtoS'}-{init}-ps{ps}"
+                for nodes in CLUSTER_NODE_COUNTS:
+                    points.append(PointSpec(
+                        figure="fig9", series=label, x=nodes, app="matmul",
+                        machine="cluster", count=nodes,
+                        size=matmul.PAPER_MATMUL,
+                        config=RuntimeConfig(**CLUSTER_BEST,
+                                             slave_to_slave=stos,
+                                             presend=ps),
+                        run_kwargs={"init": init},
+                        want_metrics=(nodes == CLUSTER_NODE_COUNTS[-1])))
+    return points
+
+
+def fig9(presends=(0, 1, 4), parallel: int = 0) -> FigureResult:
     """Cluster matmul: StoS/MtoS x init mode x presend window."""
-    size = matmul.PAPER_MATMUL
     result = FigureResult(figure="Figure 9",
                           title="Matrix multiply, GPU cluster",
                           x_label="nodes", xs=list(CLUSTER_NODE_COUNTS),
                           unit="GFLOP/s")
-    for stos in (False, True):
-        for init in ("seq", "smp", "gpu"):
-            for ps in presends:
-                label = (f"{'StoS' if stos else 'MtoS'}-{init}-ps{ps}")
-                values = []
-                for nodes in CLUSTER_NODE_COUNTS:
-                    cfg = RuntimeConfig(**CLUSTER_BEST, slave_to_slave=stos,
-                                        presend=ps)
-                    app = matmul.run_ompss(fresh_cluster(nodes), size,
-                                           config=cfg, init=init)
-                    values.append(app.metric)
-                result.attach_metrics(label, app.metrics)
-                result.add(label, values)
-    return result
+    return _assemble(result, fig9_points(presends), parallel)
 
 
 def _best_cluster_config(presend: int = 4,
@@ -151,69 +195,95 @@ def _best_cluster_config(presend: int = 4,
     return RuntimeConfig(**params)
 
 
-def fig10() -> FigureResult:
-    """Cluster matmul: best OmpSs setup vs the MPI+CUDA SUMMA baseline."""
+def fig10_points() -> "list[PointSpec]":
     size = matmul.PAPER_MATMUL
+    points = [PointSpec(figure="fig10", series="ompss-best", x=nodes,
+                        app="matmul", machine="cluster", count=nodes,
+                        size=size, config=_best_cluster_config(),
+                        run_kwargs={"init": "smp"})
+              for nodes in CLUSTER_NODE_COUNTS]
+    points += [PointSpec(figure="fig10", series="mpi+cuda", x=nodes,
+                         app="matmul", version="mpi_cuda",
+                         machine="cluster", count=nodes, size=size)
+               for nodes in CLUSTER_NODE_COUNTS]
+    return points
+
+
+def fig10(parallel: int = 0) -> FigureResult:
+    """Cluster matmul: best OmpSs setup vs the MPI+CUDA SUMMA baseline."""
     result = FigureResult(figure="Figure 10",
                           title="Matmul: OmpSs vs MPI+CUDA",
                           x_label="nodes", xs=list(CLUSTER_NODE_COUNTS),
                           unit="GFLOP/s")
-    ompss_vals, mpi_vals = [], []
-    for nodes in CLUSTER_NODE_COUNTS:
-        ompss_vals.append(matmul.run_ompss(
-            fresh_cluster(nodes), size, config=_best_cluster_config(),
-            init="smp").metric)
-        mpi_vals.append(matmul.run_mpi_cuda(
-            fresh_cluster(nodes), size, functional=False).metric)
-    result.add("ompss-best", ompss_vals)
-    result.add("mpi+cuda", mpi_vals)
-    return result
+    return _assemble(result, fig10_points(), parallel)
 
 
-def fig11() -> FigureResult:
+def fig11_points() -> "list[PointSpec]":
+    points = [PointSpec(figure="fig11", series="ompss", x=nodes,
+                        app="stream", machine="cluster", count=nodes,
+                        size=stream.paper_stream_size(nodes),
+                        config=_best_cluster_config())
+              for nodes in CLUSTER_NODE_COUNTS]
+    points += [PointSpec(figure="fig11", series="mpi+cuda", x=nodes,
+                         app="stream", version="mpi_cuda",
+                         machine="cluster", count=nodes,
+                         size=stream.paper_stream_size(nodes))
+               for nodes in CLUSTER_NODE_COUNTS]
+    return points
+
+
+def fig11(parallel: int = 0) -> FigureResult:
     """Cluster STREAM: OmpSs vs MPI+CUDA (embarrassingly parallel)."""
     result = FigureResult(figure="Figure 11",
                           title="STREAM, GPU cluster",
                           x_label="nodes", xs=list(CLUSTER_NODE_COUNTS),
                           unit="GB/s")
-    ompss_vals, mpi_vals = [], []
-    for nodes in CLUSTER_NODE_COUNTS:
-        size = stream.paper_stream_size(nodes)
-        ompss_vals.append(stream.run_ompss(
-            fresh_cluster(nodes), size,
-            config=_best_cluster_config()).metric)
-        mpi_vals.append(stream.run_mpi_cuda(
-            fresh_cluster(nodes), size, functional=False).metric)
-    result.add("ompss", ompss_vals)
-    result.add("mpi+cuda", mpi_vals)
-    return result
+    return _assemble(result, fig11_points(), parallel)
 
 
-def fig12() -> FigureResult:
-    """Cluster Perlin: OmpSs Flush/NoFlush vs MPI+CUDA."""
+def fig12_points() -> "list[PointSpec]":
     size = perlin.PAPER_PERLIN
+    points = []
+    for series, flush in (("ompss-flush", True), ("ompss-noflush", False)):
+        points += [PointSpec(figure="fig12", series=series, x=nodes,
+                             app="perlin", machine="cluster", count=nodes,
+                             size=size, config=_best_cluster_config(),
+                             run_kwargs={"flush": flush})
+                   for nodes in CLUSTER_NODE_COUNTS]
+    points += [PointSpec(figure="fig12", series="mpi+cuda", x=nodes,
+                         app="perlin", version="mpi_cuda",
+                         machine="cluster", count=nodes, size=size,
+                         run_kwargs={"flush": True})
+               for nodes in CLUSTER_NODE_COUNTS]
+    return points
+
+
+def fig12(parallel: int = 0) -> FigureResult:
+    """Cluster Perlin: OmpSs Flush/NoFlush vs MPI+CUDA."""
     result = FigureResult(figure="Figure 12",
                           title="Perlin noise, GPU cluster",
                           x_label="nodes", xs=list(CLUSTER_NODE_COUNTS),
                           unit="Mpixels/s")
-    flush_vals, noflush_vals, mpi_vals = [], [], []
-    for nodes in CLUSTER_NODE_COUNTS:
-        flush_vals.append(perlin.run_ompss(
-            fresh_cluster(nodes), size, config=_best_cluster_config(),
-            flush=True).metric)
-        noflush_vals.append(perlin.run_ompss(
-            fresh_cluster(nodes), size, config=_best_cluster_config(),
-            flush=False).metric)
-        mpi_vals.append(perlin.run_mpi_cuda(
-            fresh_cluster(nodes), size, flush=True,
-            functional=False).metric)
-    result.add("ompss-flush", flush_vals)
-    result.add("ompss-noflush", noflush_vals)
-    result.add("mpi+cuda", mpi_vals)
-    return result
+    return _assemble(result, fig12_points(), parallel)
 
 
-def fig13(n_bodies: int = 20_000) -> FigureResult:
+def fig13_points(n_bodies: int = 20_000) -> "list[PointSpec]":
+    def size_for(nodes: int) -> nbody.NBodySize:
+        return nbody.NBodySize(n=n_bodies, blocks=max(nodes, 1), iters=10)
+
+    points = [PointSpec(figure="fig13", series="ompss", x=nodes,
+                        app="nbody", machine="cluster", count=nodes,
+                        size=size_for(nodes), config=_best_cluster_config())
+              for nodes in CLUSTER_NODE_COUNTS]
+    points += [PointSpec(figure="fig13", series="mpi+cuda", x=nodes,
+                         app="nbody", version="mpi_cuda",
+                         machine="cluster", count=nodes,
+                         size=size_for(nodes))
+               for nodes in CLUSTER_NODE_COUNTS]
+    return points
+
+
+def fig13(n_bodies: int = 20_000, parallel: int = 0) -> FigureResult:
     """Cluster N-Body: OmpSs vs MPI+CUDA under all-to-all exchange.
 
     The paper's own 20000-body system: per-node compute shrinks
@@ -225,14 +295,4 @@ def fig13(n_bodies: int = 20_000) -> FigureResult:
                           title="N-Body, GPU cluster",
                           x_label="nodes", xs=list(CLUSTER_NODE_COUNTS),
                           unit="GFLOP/s")
-    ompss_vals, mpi_vals = [], []
-    for nodes in CLUSTER_NODE_COUNTS:
-        size = nbody.NBodySize(n=n_bodies, blocks=max(nodes, 1), iters=10)
-        ompss_vals.append(nbody.run_ompss(
-            fresh_cluster(nodes), size,
-            config=_best_cluster_config()).metric)
-        mpi_vals.append(nbody.run_mpi_cuda(
-            fresh_cluster(nodes), size, functional=False).metric)
-    result.add("ompss", ompss_vals)
-    result.add("mpi+cuda", mpi_vals)
-    return result
+    return _assemble(result, fig13_points(n_bodies), parallel)

@@ -1,0 +1,191 @@
+"""Parallel figure sweeps: fan independent figure points out across cores.
+
+A figure (see :mod:`repro.bench.figures`) is a grid of *points* — one
+(app, version, machine, configuration) simulation each, sharing nothing
+with its neighbours.  The sweep runner exploits that: each point is a
+picklable :class:`PointSpec`, executed by the module-level :func:`run_point`
+either in-process (serial, the default) or on a process pool.
+
+Isolation and determinism
+-------------------------
+The pool uses the ``fork`` start method, and each worker forks one more
+time per point: the point simulation runs in a **fresh copy-on-write child
+forked before any point has executed**, so module-level counters (stream
+ids, cache use clocks) are identical for every point and one point can
+never observe another's state.  A simulation is itself deterministic given
+its spec, so a sweep's output is bit-identical whatever ``parallel`` is —
+``tests/bench/test_sweep.py`` pins serial vs parallel equality.  (Fork
+also means workers never re-import ``__main__``, unlike spawn/forkserver,
+so the runner is safe to call from scripts, pytest, and the REPL alike.)
+
+Crash surfacing
+---------------
+A point that raises propagates its exception, wrapped in
+:class:`SweepPointError` naming the failing point.  A point process that
+*dies* (segfault, ``os._exit``, OOM-kill) is detected by its worker via
+pipe EOF + exit status and surfaces as the same :class:`SweepPointError`,
+instead of hanging the sweep.
+
+Usage::
+
+    python -m repro.bench fig5 --parallel 4      # CLI
+    results = run_points(points, parallel=4)     # library
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+import pickle
+import traceback
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..runtime.config import RuntimeConfig
+
+__all__ = ["PointSpec", "SweepPointError", "run_point", "run_points"]
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One figure point: everything a worker needs to reproduce the run.
+
+    Specs carry only picklable values (strings, numbers, frozen size
+    dataclasses, a :class:`RuntimeConfig`) — never live machines, programs
+    or environments, which is what keeps a point process-portable.
+    """
+
+    figure: str                       #: owning figure, e.g. ``"fig5"``
+    series: str                       #: series label within the figure
+    x: "int | float"                  #: x-axis value (GPUs or nodes)
+    app: str                          #: matmul | stream | perlin | nbody
+    version: str = "ompss"            #: ompss | mpi_cuda
+    machine: str = "multi_gpu"        #: multi_gpu | cluster
+    count: int = 1                    #: GPU count or node count
+    size: object = None               #: the app's frozen Size dataclass
+    config: Optional[RuntimeConfig] = None   #: OmpSs runtime configuration
+    run_kwargs: dict = field(default_factory=dict)  #: init=, flush=, ...
+    want_metrics: bool = False        #: return the full counter snapshot
+
+    @property
+    def label(self) -> str:
+        return f"{self.figure}/{self.series}@{self.x}"
+
+
+class SweepPointError(RuntimeError):
+    """A sweep point failed; ``spec`` identifies which one."""
+
+    def __init__(self, spec: PointSpec, detail: str):
+        super().__init__(f"sweep point {spec.label} failed: {detail}")
+        self.spec = spec
+        self.detail = detail
+
+    def __reduce__(self):
+        # Two-argument constructor: the default exception reduce would
+        # replay only ``self.args`` and break crossing a process boundary.
+        return (SweepPointError, (self.spec, self.detail))
+
+
+def _runner(app: str, version: str):
+    # Imports live here (not module level) so a point process pays the
+    # app-package import only for the app it actually runs.
+    from ..apps import matmul, nbody, perlin, stream
+    mod = {"matmul": matmul, "stream": stream,
+           "perlin": perlin, "nbody": nbody}[app]
+    return getattr(mod, f"run_{version}")
+
+
+def run_point(spec: PointSpec) -> dict:
+    """Execute one figure point; returns a small, picklable result dict.
+
+    Depends only on the spec (machines and programs are built fresh), so a
+    forked child computes the same answer as an in-process call.
+    """
+    from .harness import fresh_cluster, fresh_multi_gpu
+    machine = (fresh_multi_gpu(spec.count) if spec.machine == "multi_gpu"
+               else fresh_cluster(spec.count))
+    kwargs = dict(spec.run_kwargs)
+    if spec.version == "ompss":
+        kwargs["config"] = spec.config
+    else:
+        kwargs["functional"] = False
+    res = _runner(spec.app, spec.version)(machine, spec.size, **kwargs)
+    return {
+        "metric": res.metric,
+        "makespan": res.makespan,
+        "metrics": res.metrics if spec.want_metrics else None,
+    }
+
+
+def _run_isolated(spec: PointSpec) -> dict:
+    """Run one point in a freshly forked child; worker-side entry point.
+
+    The child inherits the worker's pristine (pre-sweep) state, computes
+    the point, pickles the outcome down a pipe and ``_exit``\\ s without
+    touching the worker.  EOF on the pipe without a payload means the
+    child died mid-run — that is the crash-surfacing path.
+    """
+    rfd, wfd = os.pipe()
+    pid = os.fork()
+    if pid == 0:                                  # the point process
+        status = 1
+        try:
+            os.close(rfd)
+            try:
+                payload = pickle.dumps(("ok", run_point(spec)))
+            except BaseException:  # noqa: BLE001 - reported to the parent
+                payload = pickle.dumps(("err", traceback.format_exc()))
+            with os.fdopen(wfd, "wb") as fh:
+                fh.write(payload)
+            status = 0
+        finally:
+            os._exit(status)                      # never re-enter the pool
+    os.close(wfd)
+    with os.fdopen(rfd, "rb") as fh:
+        data = fh.read()
+    _, wait_status = os.waitpid(pid, 0)
+    if not data:
+        raise SweepPointError(
+            spec, f"point process died (wait status {wait_status:#x})")
+    kind, value = pickle.loads(data)
+    if kind == "err":
+        raise SweepPointError(spec, f"\n{value}")
+    return value
+
+
+def run_points(specs: "list[PointSpec]", parallel: int = 0,
+               _run_one=run_point) -> "list[dict]":
+    """Run every spec; results come back in spec order.
+
+    ``parallel <= 1`` runs in-process.  Otherwise a fork-context pool of
+    ``parallel`` workers executes points concurrently, one fresh forked
+    process per point (see the module docstring for why).
+    """
+    if parallel <= 1:
+        out = []
+        for spec in specs:
+            try:
+                out.append(_run_one(spec))
+            except SweepPointError:
+                raise
+            except Exception:
+                raise SweepPointError(spec, f"\n{traceback.format_exc()}")
+        return out
+
+    ctx = multiprocessing.get_context("fork")
+    with concurrent.futures.ProcessPoolExecutor(
+            max_workers=parallel, mp_context=ctx) as pool:
+        futures = [(spec, pool.submit(_run_isolated, spec))
+                   for spec in specs]
+        out = []
+        for spec, fut in futures:
+            try:
+                out.append(fut.result())
+            except SweepPointError:
+                raise
+            except Exception as exc:
+                # A worker (not point) process died, or the result failed
+                # to unpickle: still name the point being computed.
+                raise SweepPointError(spec, repr(exc)) from exc
+        return out

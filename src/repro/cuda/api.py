@@ -112,9 +112,7 @@ class CudaContext:
         target = stream or self.null_stream
 
         def op():
-            yield self.env.process(
-                self.gpu.dma_transfer(nbytes, direction, pinned=pinned)
-            )
+            yield from self.gpu.dma_transfer(nbytes, direction, pinned=pinned)
             if on_complete is not None:
                 on_complete()
 
@@ -142,7 +140,7 @@ class CudaContext:
         target = stream or self.null_stream
 
         def op():
-            yield self.env.process(self.gpu.run_kernel(duration))
+            yield from self.gpu.run_kernel(duration)
             if spec.func is not None and func_args:
                 spec.func(*func_args)
             if on_complete is not None:

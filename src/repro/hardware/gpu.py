@@ -85,7 +85,7 @@ class GPUDevice:
                                      self.spec.pcie_pageable_bw)
         with self.dma.request() as req:
             yield req
-            yield self.env.process(link.transfer(int(nbytes * factor)))
+            yield from link.transfer(int(nbytes * factor))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<GPUDevice {self.index} {self.spec.name}>"

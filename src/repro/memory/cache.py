@@ -102,6 +102,13 @@ class SoftwareCache:
         #: namespaced ``cache.<space name>.*``.
         self.metrics = metrics
         self._mprefix = f"cache.{space.name}"
+        # Hit/miss counting sits on every access; bind the counter objects
+        # once instead of a name lookup per lookup().
+        if metrics is not None:
+            self._c_hits = metrics.counter(f"{self._mprefix}.hits")
+            self._c_misses = metrics.counter(f"{self._mprefix}.misses")
+        else:
+            self._c_hits = self._c_misses = None
 
     def _count(self, what: str) -> None:
         if self.metrics is not None:
@@ -141,12 +148,14 @@ class SoftwareCache:
         ent = self._entries.get(region.key)
         if ent is None:
             self.misses += 1
-            self._count("misses")
+            if self._c_misses is not None:
+                self._c_misses.value += 1
             return False
         ent.last_use = next(_use_clock)
         self._entries.move_to_end(region.key)
         self.hits += 1
-        self._count("hits")
+        if self._c_hits is not None:
+            self._c_hits.value += 1
         return True
 
     def choose_victims(self, nbytes_needed: int) -> list[CacheEntry]:

@@ -22,6 +22,9 @@ from .space import AddressSpace
 
 __all__ = ["Directory", "DirectoryEntry"]
 
+#: interned ``directory.*`` counter names (shared across instances).
+_COUNT_KEYS: dict[str, str] = {}
+
 
 @dataclass
 class DirectoryEntry:
@@ -47,14 +50,27 @@ class Directory:
         #: optional :class:`~repro.metrics.CounterRegistry`; counters are
         #: namespaced ``directory.*``.
         self.metrics = metrics
+        #: bound counter for the hottest count (every affinity score and
+        #: coherence check funnels through entry()): incrementing the live
+        #: Counter object skips the registry's name lookup per call.
+        self._c_lookups = (metrics.counter("directory.lookups")
+                           if metrics is not None else None)
 
     def _count(self, what: str) -> None:
         if self.metrics is not None:
-            self.metrics.inc(f"directory.{what}")
+            key = _COUNT_KEYS.get(what)
+            if key is None:
+                key = _COUNT_KEYS[what] = "directory." + what
+            self.metrics.inc(key)
 
     # -- bookkeeping -----------------------------------------------------
     def entry(self, region: Region) -> DirectoryEntry:
-        self._count("lookups")
+        # entry() is the single hottest directory call (every affinity
+        # score and coherence check funnels through it): the metrics count
+        # and the found-path lookup are inlined.
+        c = self._c_lookups
+        if c is not None:
+            c.value += 1
         ent = self._entries.get(region.key)
         if ent is None:
             self._check_shape(region)

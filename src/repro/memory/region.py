@@ -47,6 +47,12 @@ class DataObject:
         if self.num_elements <= 0:
             raise ValueError(f"object {self.name!r} needs a positive size")
         object.__setattr__(self, "dtype", np.dtype(self.dtype))
+        # Region intern table: every (start, length) range is materialized
+        # once and shared.  Regions are immutable value objects keyed by
+        # (oid, start, length), so sharing is safe, and the hot layers
+        # (graph, directory, caches) then hash/compare one object identity
+        # per access instead of re-deriving key/hash/nbytes per call site.
+        object.__setattr__(self, "_regions", {})
 
     @property
     def nbytes(self) -> int:
@@ -54,10 +60,13 @@ class DataObject:
 
     @property
     def whole(self) -> "Region":
-        return Region(self, 0, self.num_elements)
+        return self.region(0, self.num_elements)
 
     def region(self, start: int, length: int) -> "Region":
-        return Region(self, start, length)
+        r = self._regions.get((start, length))
+        if r is None:
+            r = self._regions[(start, length)] = Region(self, start, length)
+        return r
 
     def __repr__(self) -> str:
         return f"<DataObject #{self.oid} {self.name!r} {self.num_elements}x{self.dtype}>"

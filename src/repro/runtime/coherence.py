@@ -44,6 +44,12 @@ class CoherenceEngine:
         self.config = runtime.config
         #: (space id, region key, version) -> completion event of the fetch.
         self._inflight: dict[tuple[int, tuple, int], Event] = {}
+        #: per-link bound counter pairs (the f-string names are built and
+        #: resolved once per link, not once per transfer leg).
+        self._leg_counters: dict[str, tuple] = {}
+        metrics = runtime.metrics
+        self._c_transfers = metrics.counter("coherence.transfers")
+        self._c_bytes = metrics.counter("coherence.bytes_transferred")
         # statistics
         self.transfers = 0
         self.bytes_transferred = 0
@@ -55,11 +61,17 @@ class CoherenceEngine:
         ``link:node0.host->node0.gpu0``) so counters and timelines line up."""
         self.transfers += 1
         self.bytes_transferred += nbytes
-        metrics = self.rt.metrics
-        metrics.inc("coherence.transfers")
-        metrics.inc("coherence.bytes_transferred", nbytes)
-        metrics.inc(f"link.{link}.transfers")
-        metrics.inc(f"link.{link}.bytes", nbytes)
+        counters = self._leg_counters.get(link)
+        if counters is None:
+            metrics = self.rt.metrics
+            counters = self._leg_counters[link] = (
+                metrics.counter(f"link.{link}.transfers"),
+                metrics.counter(f"link.{link}.bytes"),
+            )
+        self._c_transfers.value += 1
+        self._c_bytes.value += nbytes
+        counters[0].value += 1
+        counters[1].value += nbytes
 
     # ------------------------------------------------------------------
     # Task-level protocol
@@ -77,23 +89,34 @@ class CoherenceEngine:
         cache: Optional[SoftwareCache] = getattr(place, "cache", None)
         space: AddressSpace = place.space
         sanitizer = self.rt.sanitizer
-        fetches = []
+        directory = self.directory
+        needed = []
         for acc in copy_accs:
             if cache is not None:
                 yield from self._allocate_and_pin(acc.region, cache)
             if acc.direction.reads:
-                if (sanitizer is not None
-                        and not self.directory.is_current(acc.region, space)):
-                    # A real input transfer is about to happen — remembered
-                    # so an unused input clause can report the wasted bytes.
-                    sanitizer.note_stage_in(task, acc.region)
-                fetches.append(self.env.process(
-                    self._fetch(acc.region, space, place)))
+                # Already-current inputs (cache hits, re-reads of a tile
+                # this device produced) spawn no fetch process at all —
+                # on figure workloads that is most of them.
+                if not directory.is_current(acc.region, space):
+                    if sanitizer is not None:
+                        # A real input transfer is about to happen —
+                        # remembered so an unused input clause can report
+                        # the wasted bytes.
+                        sanitizer.note_stage_in(task, acc.region)
+                    needed.append(acc.region)
             elif self.config.functional and cache is not None:
                 # Output-only on a device: materialize a writable buffer.
                 space.writable(acc.region)
-        if fetches:
-            yield self.env.all_of(fetches)
+        if len(needed) == 1:
+            # Single missing input: run the fetch inline in this process
+            # instead of spawning (and immediately joining) a child.
+            yield from self._fetch(needed[0], space, place)
+        elif needed:
+            yield self.env.all_of([
+                self.env.process(self._fetch(region, space, place))
+                for region in needed
+            ])
 
     def commit_outputs(self, task: Task, place) -> "object":
         """Process generator: publish the task's writes per cache policy."""
@@ -390,7 +413,7 @@ class CoherenceEngine:
         start = self.env.now
         if src.kind == "host" and dst.kind == "host":
             node = self.rt.machine.nodes[src.node_index]
-            yield self.env.process(node.host_copy(region.nbytes))
+            yield from node.host_copy(region.nbytes)
         else:
             gpu_space = dst if dst.kind == "gpu" else src
             direction = "h2d" if dst.kind == "gpu" else "d2h"

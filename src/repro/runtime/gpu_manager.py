@@ -56,21 +56,33 @@ class GPUManager:
         #: loop abandons (and requeues) its work and exits.
         self.alive = True
         self.current_task: Optional[Task] = None
+        #: scheduler-visible place label, also the prefix of every metric
+        #: this manager records — all interned once here instead of being
+        #: f-string-built per DMA leg / kernel / task.
+        self.place_name = f"gpu:{self.node_index}:{self.gpu.index}"
+        prefix = f"gpu.{self.place_name}"
+        metrics = self.rt.metrics
+        self._c_dma = {
+            d: (metrics.counter(f"{prefix}.dma.{d}.copies"),
+                metrics.counter(f"{prefix}.dma.{d}.bytes"))
+            for d in ("h2d", "d2h")
+        }
+        self._c_kernels = metrics.counter(f"{prefix}.kernels")
+        self._c_tasks = metrics.counter(f"{prefix}.tasks")
+        self._c_prefetch_hits = metrics.counter(f"{prefix}.prefetch.hits")
+        self._c_prefetch_staged = metrics.counter(
+            f"{prefix}.prefetch.staged")
 
     def accepts(self, task: Task) -> bool:
         return task.device == "cuda" and self.alive
-
-    @property
-    def place_name(self) -> str:
-        return f"gpu:{self.node_index}:{self.gpu.index}"
 
     # ------------------------------------------------------------------
     def dma(self, nbytes: int, direction: str):
         """Process generator: one host<->device transfer, honoring the
         overlap configuration (used by the coherence engine)."""
-        metrics = self.rt.metrics
-        metrics.inc(f"gpu.{self.place_name}.dma.{direction}.copies")
-        metrics.inc(f"gpu.{self.place_name}.dma.{direction}.bytes", nbytes)
+        c_copies, c_bytes = self._c_dma[direction]
+        c_copies.value += 1
+        c_bytes.value += nbytes
         if not self.rt.config.overlap:
             # Pageable copy on the null stream: serializes with kernels.
             yield self.ctx.memcpy(nbytes, direction, pinned=False)
@@ -104,7 +116,7 @@ class GPUManager:
             if task is None:
                 task = self.image.scheduler.next_task(self)
             if task is None:
-                yield rt.wait_for_work()
+                yield rt.wait_for_work("cuda")
                 continue
             self.current_task = task
             task.state = TaskState.RUNNING
@@ -117,7 +129,7 @@ class GPUManager:
                 return
             if getattr(task, "_staged", False):
                 # Inputs already on the device: the prefetch paid off.
-                rt.metrics.inc(f"gpu.{self.place_name}.prefetch.hits")
+                self._c_prefetch_hits.value += 1
             else:
                 yield from rt.coherence.stage_in(task, self)
             if not self.alive:
@@ -131,7 +143,7 @@ class GPUManager:
             aborted = (faults is not None
                        and faults.kernel_should_abort(self, task))
             kernel_done = self._launch(task, defer_body=faults is not None)
-            rt.metrics.inc(f"gpu.{self.place_name}.kernels")
+            self._c_kernels.value += 1
 
             prefetch_proc = None
             if rt.config.prefetch:
@@ -140,7 +152,7 @@ class GPUManager:
                     prefetch_proc = self.env.process(
                         self._prefetch(candidate))
                     staged_next = candidate
-                    rt.metrics.inc(f"gpu.{self.place_name}.prefetch.staged")
+                    self._c_prefetch_staged.value += 1
 
             kernel_enqueued = self.env.now
             yield kernel_done
@@ -175,7 +187,7 @@ class GPUManager:
             if task.subtasks is not None:
                 yield self.image.run_children(task)
             self.tasks_run += 1
-            rt.metrics.inc(f"gpu.{self.place_name}.tasks")
+            self._c_tasks.value += 1
             rt.metrics.observe("tasks.cuda.duration",
                                self.env.now - trace_start)
             self.current_task = None

@@ -10,6 +10,7 @@ paper's hierarchical design.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Optional
 
 import numpy as np
@@ -157,7 +158,7 @@ class Image:
         newly_ready = rt.graph.task_finished(task)
         self.scheduler.task_finished(task, place, newly_ready)
         rt.tasks_finished += 1
-        rt.metrics.inc("runtime.tasks_finished")
+        rt._c_finished.value += 1
         if task.done is not None and not task.done.triggered:
             task.done.succeed()
         rt.notify_completion()
@@ -248,10 +249,23 @@ class Runtime:
 
         # -- signalling ------------------------------------------------------------
         self.running = False
-        self._work_event = self.env.event()
+        self._work_events = {kind: self.env.event()
+                             for kind in ("smp", "cuda", "node")}
         self._completion_event = self.env.event()
+        #: fired (and cleared) when the graph drains; lazily created by
+        #: taskwait so a full barrier costs one wakeup, not one per task.
+        self._idle_event: Optional[Event] = None
+        # Bound per-task instruments (see CounterRegistry.counter): the
+        # submit/finish bookkeeping runs once per task and skips the
+        # registry's name lookups.
+        self._c_submitted = self.metrics.counter("runtime.tasks_submitted")
+        self._c_finished = self.metrics.counter("runtime.tasks_finished")
+        self._g_live = self.metrics.gauge("runtime.tasks_live")
         self.tasks_submitted = 0
         self.tasks_finished = 0
+        #: cumulative wall-clock spent inside run_main (engine throughput
+        #: denominator; see :meth:`run_main`).
+        self._wall_seconds = 0.0
         self._started = False
 
     # ------------------------------------------------------------------
@@ -300,18 +314,49 @@ class Runtime:
             self.faults.start()
         return self
 
-    def notify_work(self) -> None:
-        ev, self._work_event = self._work_event, self.env.event()
-        ev.succeed()
+    def notify_work(self, device: Optional[str] = None) -> None:
+        """Wake idle execution places.
 
-    def wait_for_work(self) -> Event:
-        return self._work_event
+        ``device`` narrows the wakeup to the places that could actually run
+        the newly ready work (``"smp"`` workers or ``"cuda"`` managers);
+        node-proxy waiters accept any task and are woken either way.  A bare
+        call (completion, shutdown, fault recovery) wakes everyone — on
+        figure workloads the narrow path eliminates the thundering herd of
+        idle polls that used to follow every task completion.
+        """
+        events = self._work_events
+        kinds = ("smp", "cuda", "node") if device is None else (device, "node")
+        new_event = self.env.event
+        for kind in kinds:
+            ev = events[kind]
+            if ev.callbacks:
+                events[kind] = new_event()
+                ev.succeed()
+
+    def wait_for_work(self, kind: str = "node") -> Event:
+        """Event the next :meth:`notify_work` relevant to ``kind`` fires.
+        ``kind`` is the waiter's worker kind; ``"node"`` waiters (proxies,
+        the communication thread) wake on every notification."""
+        return self._work_events[kind]
 
     def notify_completion(self) -> None:
-        ev, self._completion_event = (self._completion_event,
-                                      self.env.event())
-        ev.succeed()
-        self.notify_work()
+        # SMP/GPU places are woken by scheduler.submit when a successor
+        # actually becomes ready, so completions don't wake them; node-level
+        # waiters (the communication thread) must still see completions —
+        # a remote task finishing frees proxy capacity, which can make a
+        # long-queued dispatch possible without any new submission.
+        ev = self._completion_event
+        if ev.callbacks:
+            self._completion_event = self.env.event()
+            ev.succeed()
+        events = self._work_events
+        node_ev = events["node"]
+        if node_ev.callbacks:
+            events["node"] = self.env.event()
+            node_ev.succeed()
+        if self._idle_event is not None and self.graph.live_count == 0:
+            ev, self._idle_event = self._idle_event, None
+            ev.succeed()
 
     def wait_for_completion(self) -> Event:
         return self._completion_event
@@ -341,11 +386,11 @@ class Runtime:
             self.start()
         task.done = self.env.event()
         self.tasks_submitted += 1
-        self.metrics.inc("runtime.tasks_submitted")
+        self._c_submitted.value += 1
         if self.sanitizer is not None:
             self.sanitizer.note_submit(task)
         ready = self.graph.add_task(task)
-        self.metrics.set_gauge("runtime.tasks_live", self.graph.live_count)
+        self._g_live.set(self.graph.live_count)
         if ready:
             self.master_image.submit_local(task)
         return task
@@ -355,7 +400,11 @@ class Runtime:
         unless ``noflush``, also make host data current (paper's taskwait
         vs ``taskwait noflush``)."""
         while self.graph.live_count > 0:
-            yield self.wait_for_completion()
+            # A full barrier sleeps on the graph-drained event: one wakeup
+            # when the last task commits instead of one per completion.
+            if self._idle_event is None:
+                self._idle_event = self.env.event()
+            yield self._idle_event
         if not noflush:
             yield from self.coherence.flush()
         if self.sanitizer is not None:
@@ -378,11 +427,29 @@ class Runtime:
 
     def run_main(self, main_generator) -> float:
         """Execute a main program (a generator using submit/taskwait) to
-        completion; returns the simulated makespan in seconds."""
+        completion; returns the simulated makespan in seconds.
+
+        Engine throughput is recorded in the metrics registry under
+        ``engine.events_processed``, ``engine.wall_seconds`` and
+        ``engine.events_per_wall_second`` (gauges, cumulative over every
+        ``run_main`` call on this runtime) — the number reported by
+        ``BENCH_core.json`` and the CI perf gate.
+        """
         self.start()
         start = self.env.now
+        events_before = self.env.events_processed
+        wall_start = time.perf_counter()
         proc = self.env.process(main_generator)
         self.env.run(until=proc)
+        wall = time.perf_counter() - wall_start
+        events = self.env.events_processed - events_before
+        self._wall_seconds += wall
+        m = self.metrics
+        m.set_gauge("engine.events_processed", self.env.events_processed)
+        m.set_gauge("engine.wall_seconds", self._wall_seconds)
+        if self._wall_seconds > 0:
+            m.set_gauge("engine.events_per_wall_second",
+                        self.env.events_processed / self._wall_seconds)
         return self.env.now - start
 
     # ------------------------------------------------------------------

@@ -55,11 +55,13 @@ class AffinityScheduler(Scheduler):
         return queue.drain()
 
     # -- scoring ------------------------------------------------------------
-    def _pulls(self, task: Task) -> list[tuple[int, frozenset, frozenset]]:
+    def _pulls(self, task: Task) -> list[tuple[int, set]]:
         """One directory resolution per access: ``(weighted bytes, holder
-        spaces, holder node indices)`` tuples, reused to score every
-        candidate worker against the same snapshot (instead of
-        workers x accesses directory lookups)."""
+        spaces)`` tuples, reused to score every candidate worker against the
+        same snapshot (instead of workers x accesses directory lookups).
+        The holder sets are the directory's live sets — placement is
+        synchronous, so nothing mutates them between here and scoring, and
+        skipping the per-access copies is measurable on figure workloads."""
         pulls = []
         directory = self.directory
         for acc in task.accesses:
@@ -73,9 +75,7 @@ class AffinityScheduler(Scheduler):
             # dirty) copy where it lives avoids migrating it, and its
             # next consumer is usually the next task of the same chain.
             weight = 2 if acc.direction.writes else 1
-            holders = frozenset(ent.holders)
-            nodes = frozenset(s.node_index for s in holders)
-            pulls.append((weight * acc.region.nbytes, holders, nodes))
+            pulls.append((weight * acc.region.nbytes, ent.holders))
         return pulls
 
     @staticmethod
@@ -87,14 +87,16 @@ class AffinityScheduler(Scheduler):
         score = 0
         if worker.kind == "gpu":
             space = worker.space
-            for nbytes, holders, _nodes in pulls:
+            for nbytes, holders in pulls:
                 if space in holders:
                     score += nbytes
         else:
             node = worker.node_index
-            for nbytes, _holders, nodes in pulls:
-                if node in nodes:
-                    score += nbytes
+            for nbytes, holders in pulls:
+                for s in holders:
+                    if s.node_index == node:
+                        score += nbytes
+                        break
         return score
 
     def _score(self, task: Task, worker: WorkerProtocol) -> int:
@@ -133,21 +135,27 @@ class AffinityScheduler(Scheduler):
         self.global_queue.push(task)
 
     def next_task(self, worker: WorkerProtocol) -> Optional[Task]:
-        task = self._local[id(worker)].pop_for(worker)
-        if task is not None:
-            return task
-        task = self.global_queue.pop_for(worker)
-        if task is not None:
-            return task
+        local = self._local
+        queue = local[id(worker)]
+        if queue._size:
+            task = queue.pop_for(worker)
+            if task is not None:
+                return task
+        if self.global_queue._size:
+            task = self.global_queue.pop_for(worker)
+            if task is not None:
+                return task
         if self.steal:
             # Stealing stays within the node: the paper does not steal
             # between the queues of different cluster nodes.
+            node_index = worker.node_index
             for other in self.workers:
-                if other is worker or other.node_index != worker.node_index:
+                if other is worker or other.node_index != node_index:
                     continue
                 if other.kind == "node":
                     continue
-                task = self._local[id(other)].pop_for(worker)
+                victim = local[id(other)]
+                task = victim.pop_for(worker) if victim._size else None
                 if task is not None:
                     self.stolen += 1
                     if self.metrics is not None:

@@ -76,6 +76,11 @@ class TaskQueue:
 
     def pop_for(self, worker: WorkerProtocol) -> Optional[Task]:
         """First queued task the worker can execute (stable order)."""
+        if not self._size:
+            # Idle polls vastly outnumber successful pops (every completion
+            # wakes every sleeping worker); answer them without touching
+            # the buckets.
+            return None
         best: Optional[deque] = None
         best_seq = 0
         for bucket in self._buckets.values():
@@ -124,8 +129,9 @@ class Scheduler:
 
     name = "base"
 
-    def __init__(self, notify: Callable[[], None], metrics=None):
-        #: callback waking idle workers when work arrives.
+    def __init__(self, notify: Callable[..., None], metrics=None):
+        #: callback waking idle workers when work arrives; called with the
+        #: ready task's device kind so only places that could run it wake.
         self._notify = notify
         self.workers: list[WorkerProtocol] = []
         self.global_queue = TaskQueue()
@@ -133,6 +139,11 @@ class Scheduler:
         #: optional :class:`~repro.metrics.CounterRegistry`; counters are
         #: namespaced ``scheduler.*``.
         self.metrics = metrics
+        if metrics is not None:
+            self._c_ready = metrics.counter("scheduler.ready_submissions")
+            self._g_pending = metrics.gauge("scheduler.pending")
+        else:
+            self._c_ready = self._g_pending = None
 
     # -- wiring -----------------------------------------------------------
     def register_worker(self, worker: WorkerProtocol) -> None:
@@ -161,14 +172,14 @@ class Scheduler:
     def submit(self, task: Task) -> None:
         """A task became ready: place it in some queue."""
         self.tasks_submitted += 1
-        if self.metrics is not None:
-            self.metrics.inc("scheduler.ready_submissions")
+        if self._c_ready is not None:
+            self._c_ready.value += 1
         self._place(task)
-        if self.metrics is not None:
+        if self._g_pending is not None:
             # Read the gauge after placement: _place may hand the task to a
             # queue already, so pre-counting would over-report by one.
-            self.metrics.set_gauge("scheduler.pending", self.pending)
-        self._notify()
+            self._g_pending.set(self.pending)
+        self._notify(task.device)
 
     def task_finished(self, task: Task, worker: WorkerProtocol,
                       newly_ready: list[Task]) -> None:

@@ -26,13 +26,13 @@ class Direction(Enum):
     OUT = "output"
     INOUT = "inout"
 
-    @property
-    def reads(self) -> bool:
-        return self in (Direction.IN, Direction.INOUT)
 
-    @property
-    def writes(self) -> bool:
-        return self in (Direction.OUT, Direction.INOUT)
+# ``reads``/``writes`` are plain member attributes rather than properties:
+# clause checks run per access on every graph insertion, stage-in and
+# commit, and a property call was measurable there.
+Direction.IN.reads, Direction.IN.writes = True, False
+Direction.OUT.reads, Direction.OUT.writes = False, True
+Direction.INOUT.reads, Direction.INOUT.writes = True, True
 
 
 @dataclass(frozen=True)

@@ -68,6 +68,11 @@ class SMPWorker:
         self.cache = None  # host memory is not a software cache
         self.worker_index = worker_index
         self.tasks_run = 0
+        #: scheduler-visible place label + its per-worker metric key,
+        #: interned once instead of f-string-built per finished task.
+        self.place_name = f"smp:{self.node_index}:{self.worker_index}"
+        self._c_tasks = self.rt.metrics.counter(
+            f"worker.{self.place_name}.tasks")
 
     def accepts(self, task: Task) -> bool:
         return task.device == "smp"
@@ -78,13 +83,9 @@ class SMPWorker:
         while rt.running:
             task = self.image.scheduler.next_task(self)
             if task is None:
-                yield rt.wait_for_work()
+                yield rt.wait_for_work("smp")
                 continue
             yield from self.execute(task)
-
-    @property
-    def place_name(self) -> str:
-        return f"smp:{self.node_index}:{self.worker_index}"
 
     def execute(self, task: Task):
         task.state = TaskState.RUNNING
@@ -94,7 +95,7 @@ class SMPWorker:
             yield self.env.timeout(self.rt.config.task_overhead)
         yield from self.rt.coherence.stage_in(task, self)
         duration = task.smp_duration(self.node.spec.cpu)
-        yield self.env.process(self.node.run_cpu_work(duration))
+        yield from self.node.run_cpu_work(duration)
         if self.rt.config.functional and task.func is not None:
             task.func(*resolve_args(task, self.space, self.rt.sanitizer))
         yield from self.rt.coherence.commit_outputs(task, self)
@@ -107,7 +108,7 @@ class SMPWorker:
             # all have (so its own siblings see the decomposed work done).
             yield self.image.run_children(task)
         self.tasks_run += 1
-        self.rt.metrics.inc(f"worker.{self.place_name}.tasks")
+        self._c_tasks.value += 1
         self.rt.metrics.observe("tasks.smp.duration",
                                 self.env.now - trace_start)
         self.image.finish_task(task, self)

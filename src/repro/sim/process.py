@@ -30,12 +30,17 @@ class Process(Event):
         self._generator = generator
         self._target: Event | None = None
         self.name = name or getattr(generator, "__name__", "process")
-        # Kick off the process at the current instant, ahead of normal events.
+        # Kick off the process at the current instant, ahead of normal
+        # events.  The bootstrap is born triggered-and-scheduled and lands
+        # directly in the urgent immediate lane (same fast path as Timeout:
+        # the _schedule guard can never fire for a fresh event).
         bootstrap = Event(env)
-        bootstrap.callbacks.append(self._resume)
+        bootstrap.callbacks = [self._resume]
         bootstrap._value = None
         bootstrap._ok = True
-        env._schedule(bootstrap, PRIORITY_URGENT)
+        bootstrap._scheduled = True
+        env._seq += 1
+        env._imm[PRIORITY_URGENT].append((env._seq, bootstrap))
 
     @property
     def is_alive(self) -> bool:

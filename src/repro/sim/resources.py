@@ -70,8 +70,17 @@ class Resource:
     def request(self, priority: int = 0) -> Request:
         req = Request(self, priority)
         if len(self._users) < self.capacity and not self._waiting:
+            # Uncontended grant: hand back an already-processed event, so a
+            # process yielding it continues inline instead of taking a full
+            # schedule/resume round-trip through the event queue.  (The
+            # contended path below is unchanged: the grant happens inside
+            # release(), and waiters wake through the queue as always.)
             self._users.add(req)
-            req.succeed(self)
+            req._value = self
+            req._ok = True
+            req._scheduled = True
+            req._processed = True
+            req.callbacks = None
         else:
             self._seq += 1
             entry = (priority, self._seq, req)

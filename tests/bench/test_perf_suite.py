@@ -35,3 +35,27 @@ def test_smoke_run_emits_valid_report(tmp_path):
     assert results["cache"]["ops_per_sec"] > 0
     assert results["end_to_end"]["wall_seconds"] > 0
     assert results["end_to_end"]["simulated_makespan"] > 0
+    # The engine throughput fields are live now (ROADMAP item 2): every
+    # end_to_end entry must report a real events/sec number.
+    assert results["end_to_end"]["sim_events_processed"] > 0
+    assert results["end_to_end"]["sim_events_per_wall_second"] > 0
+
+
+def test_perf_gate_round_trip(tmp_path):
+    """--update writes a baseline; an immediate re-gate against it passes
+    (same machine, seconds apart — well inside the 20% tolerance)."""
+    baseline = tmp_path / "perf_baseline.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    gate = str(REPO / "benchmarks/perf/perf_gate.py")
+    common = [sys.executable, gate, "--quick", "--baseline", str(baseline)]
+    proc = subprocess.run(common + ["--update"], capture_output=True,
+                          text=True, env=env, cwd=REPO, timeout=600)
+    assert proc.returncode == 0, proc.stderr
+    written = json.loads(baseline.read_text())
+    assert written["modes"]["quick"]["normalized_throughput"] > 0
+    proc = subprocess.run(common, capture_output=True, text=True, env=env,
+                          cwd=REPO, timeout=600)
+    assert proc.returncode == 0, proc.stderr + proc.stdout
+    assert "PASS" in proc.stdout

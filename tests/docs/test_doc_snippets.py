@@ -39,6 +39,18 @@ def test_sanitizer_snippets_run(i, capsys):
     exec(compile(code, f"SANITIZER.md[block {i}]", "exec"), {})
 
 
+@pytest.mark.parametrize("i", range(len(python_blocks("PERFORMANCE.md"))))
+def test_performance_snippets_run(i, capsys):
+    code = python_blocks("PERFORMANCE.md")[i]
+    exec(compile(code, f"PERFORMANCE.md[block {i}]", "exec"), {})
+
+
+@pytest.mark.parametrize("i", range(len(python_blocks("BENCHMARKS.md"))))
+def test_benchmarks_snippets_run(i, capsys):
+    code = python_blocks("BENCHMARKS.md")[i]
+    exec(compile(code, f"BENCHMARKS.md[block {i}]", "exec"), {})
+
+
 def test_docs_readme_links_resolve():
     """docs/README.md is the index — every link target must exist."""
     text = (DOCS / "README.md").read_text()

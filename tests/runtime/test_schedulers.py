@@ -53,19 +53,19 @@ def smp_task(name, *accesses):
 def test_make_scheduler_dispatch():
     host = HostSpace("h", 0, False, canonical=True)
     d = Directory(home=host)
-    assert isinstance(make_scheduler("bf", lambda: None, d),
+    assert isinstance(make_scheduler("bf", lambda *a: None, d),
                       BreadthFirstScheduler)
-    assert isinstance(make_scheduler("default", lambda: None, d),
+    assert isinstance(make_scheduler("default", lambda *a: None, d),
                       DependencyAwareScheduler)
-    assert isinstance(make_scheduler("affinity", lambda: None, d),
+    assert isinstance(make_scheduler("affinity", lambda *a: None, d),
                       AffinityScheduler)
     with pytest.raises(ValueError):
-        make_scheduler("random", lambda: None, d)
+        make_scheduler("random", lambda *a: None, d)
 
 
 def test_bf_fifo_order():
     host, d, gpus, smp, _ = make_world()
-    sched = BreadthFirstScheduler(lambda: None)
+    sched = BreadthFirstScheduler(lambda *a: None)
     for w in gpus + [smp]:
         sched.register_worker(w)
     o = DataObject(name="x", num_elements=100)
@@ -80,7 +80,7 @@ def test_bf_fifo_order():
 
 def test_device_constraint_respected():
     host, d, gpus, smp, _ = make_world()
-    sched = BreadthFirstScheduler(lambda: None)
+    sched = BreadthFirstScheduler(lambda *a: None)
     for w in gpus + [smp]:
         sched.register_worker(w)
     o = DataObject(name="x", num_elements=100)
@@ -95,7 +95,7 @@ def test_device_constraint_respected():
 
 def test_notify_called_on_submit():
     calls = []
-    sched = BreadthFirstScheduler(lambda: calls.append(1))
+    sched = BreadthFirstScheduler(lambda *a: calls.append(1))
     o = DataObject(name="x", num_elements=10)
     sched.submit(smp_task("t", Access(o.whole, Direction.OUT)))
     assert calls == [1]
@@ -103,7 +103,7 @@ def test_notify_called_on_submit():
 
 def test_dep_aware_successor_goes_to_finishing_worker():
     host, d, gpus, smp, _ = make_world()
-    sched = DependencyAwareScheduler(lambda: None)
+    sched = DependencyAwareScheduler(lambda *a: None)
     for w in gpus + [smp]:
         sched.register_worker(w)
     o = DataObject(name="x", num_elements=100)
@@ -122,7 +122,7 @@ def test_dep_aware_successor_goes_to_finishing_worker():
 
 def test_dep_aware_hints_drained_by_others_as_last_resort():
     host, d, gpus, smp, _ = make_world()
-    sched = DependencyAwareScheduler(lambda: None)
+    sched = DependencyAwareScheduler(lambda *a: None)
     for w in gpus + [smp]:
         sched.register_worker(w)
     o = DataObject(name="x", num_elements=100)
@@ -137,7 +137,7 @@ def test_dep_aware_hints_drained_by_others_as_last_resort():
 
 def test_dep_aware_incompatible_successor_goes_global():
     host, d, gpus, smp, _ = make_world()
-    sched = DependencyAwareScheduler(lambda: None)
+    sched = DependencyAwareScheduler(lambda *a: None)
     for w in gpus + [smp]:
         sched.register_worker(w)
     o = DataObject(name="x", num_elements=100)
@@ -152,7 +152,7 @@ def test_dep_aware_incompatible_successor_goes_global():
 
 def test_affinity_places_by_resident_bytes():
     host, d, gpus, smp, _ = make_world()
-    sched = AffinityScheduler(lambda: None, d)
+    sched = AffinityScheduler(lambda *a: None, d)
     for w in gpus + [smp]:
         sched.register_worker(w)
     o = DataObject(name="x", num_elements=100)
@@ -167,7 +167,7 @@ def test_affinity_places_by_resident_bytes():
 
 def test_affinity_write_weight_prefers_written_region_holder():
     host, d, gpus, smp, _ = make_world()
-    sched = AffinityScheduler(lambda: None, d)
+    sched = AffinityScheduler(lambda *a: None, d)
     for w in gpus + [smp]:
         sched.register_worker(w)
     o = DataObject(name="x", num_elements=200)
@@ -184,7 +184,7 @@ def test_affinity_write_weight_prefers_written_region_holder():
 
 def test_affinity_virgin_output_exerts_no_pull():
     host, d, gpus, smp, _ = make_world()
-    sched = AffinityScheduler(lambda: None, d)
+    sched = AffinityScheduler(lambda *a: None, d)
     for w in gpus + [smp]:
         sched.register_worker(w)
     o = DataObject(name="x", num_elements=100)
@@ -197,7 +197,7 @@ def test_affinity_virgin_output_exerts_no_pull():
 
 def test_affinity_stealing_within_node():
     host, d, gpus, smp, _ = make_world()
-    sched = AffinityScheduler(lambda: None, d, steal=True)
+    sched = AffinityScheduler(lambda *a: None, d, steal=True)
     for w in gpus + [smp]:
         sched.register_worker(w)
     o = DataObject(name="x", num_elements=100)
@@ -211,7 +211,7 @@ def test_affinity_stealing_within_node():
 
 def test_affinity_steal_disabled():
     host, d, gpus, smp, _ = make_world()
-    sched = AffinityScheduler(lambda: None, d, steal=False)
+    sched = AffinityScheduler(lambda *a: None, d, steal=False)
     for w in gpus + [smp]:
         sched.register_worker(w)
     o = DataObject(name="x", num_elements=100)
@@ -224,7 +224,7 @@ def test_affinity_steal_disabled():
 
 def test_affinity_no_steal_across_nodes():
     host, d, gpus, smp, proxies = make_world(num_nodes=3)
-    sched = AffinityScheduler(lambda: None, d, steal=True)
+    sched = AffinityScheduler(lambda *a: None, d, steal=True)
     for w in gpus + [smp] + proxies:
         sched.register_worker(w)
     o = DataObject(name="x", num_elements=100)
@@ -238,7 +238,7 @@ def test_affinity_no_steal_across_nodes():
 
 def test_affinity_round_robin_over_node_domains():
     host, d, gpus, smp, proxies = make_world(num_nodes=3)
-    sched = AffinityScheduler(lambda: None, d, steal=True, rr_chunk=1)
+    sched = AffinityScheduler(lambda *a: None, d, steal=True, rr_chunk=1)
     for w in gpus + [smp] + proxies:
         sched.register_worker(w)
     o = DataObject(name="x", num_elements=300)
@@ -255,7 +255,7 @@ def test_affinity_round_robin_over_node_domains():
 
 def test_affinity_rr_chunking():
     host, d, gpus, smp, proxies = make_world(num_nodes=2)
-    sched = AffinityScheduler(lambda: None, d, rr_chunk=2)
+    sched = AffinityScheduler(lambda *a: None, d, rr_chunk=2)
     for w in gpus + [smp] + proxies:
         sched.register_worker(w)
     o = DataObject(name="x", num_elements=400)
@@ -274,7 +274,7 @@ def test_affinity_rr_chunking():
 def test_pending_counts():
     host, d, gpus, smp, _ = make_world()
     for name in ("bf", "default", "affinity"):
-        sched = make_scheduler(name, lambda: None, d)
+        sched = make_scheduler(name, lambda *a: None, d)
         for w in gpus + [smp]:
             sched.register_worker(w)
         o = DataObject(name=f"x-{name}", num_elements=100)

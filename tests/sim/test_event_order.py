@@ -1,0 +1,199 @@
+"""The split immediate-lanes + heap queue preserves single-heap order.
+
+``Environment`` keeps events scheduled "now" in three per-priority deques
+and only timed events in the binary heap (see the :mod:`repro.sim.core`
+module docstring).  These tests drive randomized cascades of simultaneous
+and timed events through the real engine and through a pure-heapq
+reference implementation of the documented total order — (time, priority,
+sequence) — and require the two processing orders to be identical.
+"""
+
+import heapq
+import random
+
+import pytest
+
+from repro.sim.core import (
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    PRIORITY_URGENT,
+    Environment,
+    Event,
+)
+
+#: Delay grid for cascades: zero (immediate lane) plus a few timed values
+#: that collide often enough to exercise the same-instant heap-vs-lane
+#: comparison in ``Environment.run``.
+DELAYS = (0.0, 0.0, 0.0, 0.001, 0.002, 0.003)
+PRIORITIES = (PRIORITY_URGENT, PRIORITY_NORMAL, PRIORITY_LOW)
+
+
+def build_cascade(rng: random.Random, total: int):
+    """Random tree as explicit structures: roots + children-by-node-id."""
+    children: dict[int, list[tuple[int, float, int]]] = {}
+    counter = [0]
+
+    def new_node() -> int:
+        counter[0] += 1
+        children[counter[0]] = []
+        return counter[0]
+
+    roots = []
+    all_nodes = []
+    for _ in range(max(1, total // 10)):
+        node = new_node()
+        roots.append((node, rng.choice(PRIORITIES)))
+        all_nodes.append(node)
+    while counter[0] < total:
+        parent = rng.choice(all_nodes)
+        node = new_node()
+        children[parent].append((node, rng.choice(DELAYS),
+                                 rng.choice(PRIORITIES)))
+        all_nodes.append(node)
+    return roots, children
+
+
+def run_real(roots, children) -> list[int]:
+    """Drive the cascade through the real Environment."""
+    env = Environment()
+    order: list[int] = []
+
+    def fire(node: int):
+        order.append(node)
+        for child, delay, prio in children[node]:
+            schedule(child, delay, prio)
+
+    def schedule(node: int, delay: float, prio: int):
+        if delay == 0.0:
+            ev = Event(env)
+            ev.callbacks.append(lambda _ev, n=node: fire(n))
+            ev.succeed(priority=prio)
+        else:
+            env.at(env.now + delay, lambda n=node: fire(n), priority=prio)
+
+    for node, prio in roots:
+        schedule(node, 0.0, prio)
+    env.run()
+    return order
+
+
+def run_reference(roots, children) -> list[int]:
+    """The same cascade on one plain heapq ordered (time, prio, seq)."""
+    heap: list[tuple[float, int, int, int]] = []
+    seq = [0]
+    now = [0.0]
+    order: list[int] = []
+
+    def schedule(node: int, delay: float, prio: int):
+        seq[0] += 1
+        heapq.heappush(heap, (now[0] + delay, prio, seq[0], node))
+
+    for node, prio in roots:
+        schedule(node, 0.0, prio)
+    while heap:
+        when, _prio, _seq, node = heapq.heappop(heap)
+        now[0] = when
+        order.append(node)
+        for child, delay, prio in children[node]:
+            schedule(child, delay, prio)
+    return order
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_cascades_match_single_heap(seed):
+    rng = random.Random(seed)
+    roots, children = build_cascade(rng, total=250)
+    real = run_real(roots, children)
+    ref = run_reference(roots, children)
+    assert len(real) == 250
+    assert real == ref
+
+
+def test_priorities_order_simultaneous_events():
+    env = Environment()
+    order = []
+    for prio, tag in ((PRIORITY_LOW, "low1"), (PRIORITY_NORMAL, "norm1"),
+                      (PRIORITY_URGENT, "urg1"), (PRIORITY_LOW, "low2"),
+                      (PRIORITY_URGENT, "urg2"), (PRIORITY_NORMAL, "norm2")):
+        ev = Event(env)
+        ev.callbacks.append(lambda _ev, t=tag: order.append(t))
+        ev.succeed(priority=prio)
+    env.run()
+    assert order == ["urg1", "urg2", "norm1", "norm2", "low1", "low2"]
+
+
+def test_zero_timeout_and_succeed_share_fifo_order():
+    """delay-0 timeouts land in the same lane as succeed(): pure FIFO."""
+    env = Environment()
+    order = []
+    t1 = env.timeout(0.0)
+    t1.callbacks.append(lambda _ev: order.append("t1"))
+    ev = Event(env)
+    ev.callbacks.append(lambda _ev: order.append("ev"))
+    ev.succeed()
+    t2 = env.timeout(0.0)
+    t2.callbacks.append(lambda _ev: order.append("t2"))
+    env.run()
+    assert order == ["t1", "ev", "t2"]
+
+
+def test_earlier_scheduled_heap_event_beats_later_lane_event():
+    """A timed event planned long ago still wins the (prio, seq) race
+    against an immediate event created at its firing instant."""
+    env = Environment()
+    order = []
+    # seq 1: fires at t=1 and immediately schedules a lane event (seq 3).
+    env.at(1.0, lambda: (order.append("first"), spawn()), PRIORITY_NORMAL)
+    # seq 2: also at t=1 — lower seq than the lane event spawned above,
+    # so with equal priority it must fire before it.
+    env.at(1.0, lambda: order.append("second"), PRIORITY_NORMAL)
+
+    def spawn():
+        ev = Event(env)
+        ev.callbacks.append(lambda _ev: order.append("spawned"))
+        ev.succeed()
+
+    env.run()
+    assert order == ["first", "second", "spawned"]
+
+
+def test_urgent_lane_event_beats_same_instant_heap_event():
+    env = Environment()
+    order = []
+    env.at(1.0, lambda: (order.append("first"), spawn()), PRIORITY_NORMAL)
+    env.at(1.0, lambda: order.append("normal-heap"), PRIORITY_NORMAL)
+
+    def spawn():
+        ev = Event(env)
+        ev.callbacks.append(lambda _ev: order.append("urgent-lane"))
+        ev.succeed(priority=PRIORITY_URGENT)
+
+    env.run()
+    assert order == ["first", "urgent-lane", "normal-heap"]
+
+
+def test_events_processed_counts_every_event():
+    rng = random.Random(1234)
+    roots, children = build_cascade(rng, total=100)
+    env = Environment()
+    # Reuse run_real's scheduling against this env via a tiny inline copy
+    # so we can inspect the same Environment afterwards.
+    order = []
+
+    def fire(node: int):
+        order.append(node)
+        for child, delay, prio in children[node]:
+            schedule(child, delay, prio)
+
+    def schedule(node: int, delay: float, prio: int):
+        if delay == 0.0:
+            ev = Event(env)
+            ev.callbacks.append(lambda _ev, n=node: fire(n))
+            ev.succeed(priority=prio)
+        else:
+            env.at(env.now + delay, lambda n=node: fire(n), priority=prio)
+
+    for node, prio in roots:
+        schedule(node, 0.0, prio)
+    env.run()
+    assert env.events_processed == len(order) == 100
