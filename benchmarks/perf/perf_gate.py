@@ -133,7 +133,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="small matrix (CI mode; seconds, not minutes)")
-    parser.add_argument("--update", action="store_true",
+    parser.add_argument("--update", "--update-baseline", dest="update",
+                        action="store_true",
                         help="rewrite the baseline with this run's numbers")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional regression (default 0.20)")

@@ -19,6 +19,7 @@ from .loc import table1_rows
 from .report import render_table
 
 FIGURES = {f"fig{i}": getattr(figures, f"fig{i}") for i in range(5, 14)}
+FIGURES["fig-dm"] = figures.fig_datamove
 
 
 def print_table1() -> None:

@@ -19,7 +19,8 @@ from .harness import CLUSTER_BEST, FigureResult
 from .sweep import PointSpec, run_points
 
 __all__ = ["fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-           "fig12", "fig13", "MULTI_GPU_COUNTS", "CLUSTER_NODE_COUNTS"]
+           "fig12", "fig13", "fig_datamove", "MULTI_GPU_COUNTS",
+           "CLUSTER_NODE_COUNTS", "DATAMOVE_FLAGS", "DATAMOVE_POINTS"]
 
 MULTI_GPU_COUNTS = (1, 2, 4)
 CLUSTER_NODE_COUNTS = (1, 2, 4, 8)
@@ -281,6 +282,79 @@ def fig13_points(n_bodies: int = 20_000) -> "list[PointSpec]":
                          size=size_for(nodes))
                for nodes in CLUSTER_NODE_COUNTS]
     return points
+
+
+# ---------------------------------------------------------------------------
+# Data-movement optimisation layer (baseline vs datamove)
+# ---------------------------------------------------------------------------
+
+#: the four datamove mechanisms, all on (presend_depth only acts on
+#: cluster runs; it is a documented no-op on a single node).
+DATAMOVE_FLAGS = dict(wb_elision=True, coalescing=True, presend_depth=4,
+                      cost_aware_eviction=True)
+
+#: the communication-bound evaluation points the layer targets:
+#: * ``matmul-cluster`` — 4 nodes, master-routed transfers (MtoS), no
+#:   presend credit: the master NIC is the bottleneck (Fig. 9's worst
+#:   corner), which is where coalescing + prestaging buy their keep;
+#: * ``stream-mgpu`` — 4 GPUs with the software cache squeezed to 20% of
+#:   device memory: the eviction/write-back path dominates, which is what
+#:   elision + cost-aware eviction attack.
+DATAMOVE_POINTS = ("matmul-cluster", "stream-mgpu")
+
+
+def _datamove_base(point: str) -> dict:
+    if point == "matmul-cluster":
+        return dict(app="matmul", machine="cluster", count=4,
+                    size=matmul.PAPER_MATMUL,
+                    run_kwargs={"init": "seq"},
+                    cfg=dict(CLUSTER_BEST, slave_to_slave=False,
+                             presend=0))
+    return dict(app="stream", machine="multi_gpu", count=4,
+                size=stream.paper_stream_size(4), run_kwargs={},
+                cfg=dict(functional=False, cache_policy="wb",
+                         scheduler="affinity", overlap=True, prefetch=True,
+                         gpu_cache_fraction=0.2))
+
+
+def fig_datamove_points() -> "list[PointSpec]":
+    points = []
+    for series, flags in (("baseline", {}), ("datamove", DATAMOVE_FLAGS)):
+        for point in DATAMOVE_POINTS:
+            base = _datamove_base(point)
+            points.append(PointSpec(
+                figure="fig-dm", series=series, x=point,
+                app=base["app"], machine=base["machine"],
+                count=base["count"], size=base["size"],
+                config=RuntimeConfig(**base["cfg"], **flags),
+                run_kwargs=base["run_kwargs"], want_metrics=True))
+    return points
+
+
+def fig_datamove(parallel: int = 0) -> FigureResult:
+    """Baseline vs the datamove layer on the communication-bound points.
+
+    Series are *makespans* (lower is better), unlike the paper figures'
+    throughput units, because the two points measure different apps on
+    different machines — only the baseline/datamove ratio is comparable.
+    """
+    result = FigureResult(figure="Figure DM",
+                          title="Data-movement layer, comm-bound points",
+                          x_label="point", xs=list(DATAMOVE_POINTS),
+                          unit="s (makespan)")
+    points = fig_datamove_points()
+    values = run_points(points, parallel=parallel)
+    for spec, val in zip(points, values):
+        result.series.setdefault(spec.series, []).append(val["makespan"])
+        if spec.want_metrics and val["metrics"]:
+            result.attach_metrics(f"{spec.series}/{spec.x}",
+                                  val["metrics"])
+    base, opt = result.series["baseline"], result.series["datamove"]
+    for point, b, o in zip(DATAMOVE_POINTS, base, opt):
+        result.notes.append(
+            f"{point}: {b:.3f}s -> {o:.3f}s "
+            f"({(b - o) / b:+.1%} makespan reduction)")
+    return result
 
 
 def fig13(n_bodies: int = 20_000, parallel: int = 0) -> FigureResult:

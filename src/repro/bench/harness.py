@@ -24,16 +24,23 @@ def summarize_run(snapshot: dict) -> dict:
                    if k.startswith(prefix) and k.endswith(suffix)
                    and not isinstance(v, dict))
 
+    hits = total("cache.", ".hits")
+    misses = total("cache.", ".misses")
     return {
         "tasks": snapshot.get("runtime.tasks_finished", 0),
-        "hits": total("cache.", ".hits"),
-        "misses": total("cache.", ".misses"),
+        "hits": hits,
+        "misses": misses,
+        "hit%": round(100.0 * hits / (hits + misses), 1)
+                if hits + misses else 0.0,
         "evict": total("cache.", ".evictions"),
         "wback": total("cache.", ".writebacks"),
+        "elided": snapshot.get("datamove.writebacks_elided", 0),
+        "fused": snapshot.get("datamove.fused_transfers", 0),
         "xfers": snapshot.get("coherence.transfers", 0),
         "moved MB": snapshot.get("coherence.bytes_transferred", 0) / 1e6,
         "net MB": snapshot.get("am.bytes_sent", 0) / 1e6,
         "presend": total("cluster.", ".presends"),
+        "prestage": total("cluster.", ".prestages"),
         "steals": snapshot.get("scheduler.steals", 0),
     }
 

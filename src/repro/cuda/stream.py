@@ -43,6 +43,10 @@ class Stream:
         self.metrics = metrics
         self._c_ops = (metrics.counter(f"cuda.stream.{self.name}.ops")
                        if metrics is not None else None)
+        #: queue-depth gauge (high-water = pipelining depth actually
+        #: reached, e.g. by the datamove fused-DMA double buffering).
+        self._g_depth = (metrics.gauge(f"cuda.stream.{self.name}.depth")
+                         if metrics is not None else None)
         self._pending: deque = deque()
         self._pump_proc = None
         self._wakeup: Optional[Event] = None
@@ -63,6 +67,8 @@ class Stream:
             self._c_ops.value += 1
         done = Event(self.env)
         self._pending.append((operation, done))
+        if self._g_depth is not None:
+            self._g_depth.set(len(self._pending))
         if self._pump_proc is None:
             self._pump_proc = self.env.process(self._pump())
         elif self._wakeup is not None:

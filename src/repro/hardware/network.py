@@ -50,9 +50,9 @@ class Network:
             with dst.nic_rx._lanes.request(priority=priority) as rx_req:
                 yield rx_req
                 yield self.env.timeout(wire)
-        src.nic_tx.bytes_moved += nbytes
-        src.nic_tx.transfer_count += 1
-        dst.nic_rx.bytes_moved += nbytes
-        dst.nic_rx.transfer_count += 1
+        # Full hold time (latency included) so latency-bound message
+        # streams report truthful NIC busy fractions.
+        src.nic_tx.account(nbytes, wire)
+        dst.nic_rx.account(nbytes, wire)
         self.bytes_moved += nbytes
         self.message_count += 1

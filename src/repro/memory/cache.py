@@ -98,6 +98,11 @@ class SoftwareCache:
         self.misses = 0
         self.evictions = 0
         self.writebacks = 0
+        self.writebacks_elided = 0
+        #: optional re-fetch cost estimator ``CacheEntry -> float`` (set by
+        #: the datamove layer when cost-aware eviction is enabled).  When
+        #: None, :meth:`choose_victims` runs the historical pure-LRU path.
+        self.victim_cost_fn = None
         #: optional :class:`~repro.metrics.CounterRegistry`; counters are
         #: namespaced ``cache.<space name>.*``.
         self.metrics = metrics
@@ -139,6 +144,12 @@ class SoftwareCache:
     def bytes_free(self) -> int:
         return self.capacity - self.bytes_used
 
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit (0.0 when nothing was accessed)."""
+        accesses = self.hits + self.misses
+        return self.hits / accesses if accesses else 0.0
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -169,6 +180,8 @@ class SoftwareCache:
         victims: list[CacheEntry] = []
         freed = 0
         need = nbytes_needed - self.bytes_free
+        if self.victim_cost_fn is not None:
+            return self._choose_victims_by_cost(nbytes_needed, need)
         for ent in self._entries.values():   # LRU order by construction
             if not ent.evictable:
                 continue
@@ -180,6 +193,38 @@ class SoftwareCache:
             f"cannot fit {nbytes_needed} bytes in {self.space.name}: "
             f"{self.bytes_free} free, {freed} evictable"
         )
+
+    def _choose_victims_by_cost(self, nbytes_needed: int,
+                                need: int) -> list[CacheEntry]:
+        """Cost-aware victim selection: collect the LRU candidate prefix
+        that covers the need, widen it to twice as many entries, then evict
+        cheapest-to-refetch first.  The sort is stable, so entries with
+        equal cost keep their LRU order — pure LRU is the tie-break, not
+        the other way round."""
+        candidates = [e for e in self._entries.values() if e.evictable]
+        freed = 0
+        prefix = 0
+        for ent in candidates:
+            prefix += 1
+            freed += ent.nbytes
+            if freed >= need:
+                break
+        if freed < need:
+            raise CacheCapacityError(
+                f"cannot fit {nbytes_needed} bytes in {self.space.name}: "
+                f"{self.bytes_free} free, {freed} evictable"
+            )
+        pool = candidates[:min(len(candidates), 2 * prefix)]
+        pool.sort(key=self.victim_cost_fn)
+        victims: list[CacheEntry] = []
+        freed = 0
+        for ent in pool:
+            victims.append(ent)
+            freed += ent.nbytes
+            if freed >= need:
+                break
+        self._count("cost_aware_selections")
+        return victims
 
     def insert(self, region: Region, dirty: bool = False) -> CacheEntry:
         """Add a resident entry.  Space must already have been made."""
@@ -256,3 +301,13 @@ class SoftwareCache:
             del self._dirty[region.key]
             self.writebacks += 1
             self._count("writebacks")
+
+    def clear_dirty(self, region: Region) -> None:
+        """Drop the dirty bit *without* counting a write-back: the datamove
+        layer proved the version dead, so no bytes moved anywhere."""
+        ent = self._entries.get(region.key)
+        if ent is not None and ent.dirty:
+            ent.dirty = False
+            del self._dirty[region.key]
+            self.writebacks_elided += 1
+            self._count("writebacks_elided")

@@ -35,6 +35,11 @@ class DirectoryEntry:
     #: None for registered-but-never-written data, whose home copy is the
     #: canonical source anyway).
     producer: object = None
+    #: the current version was deliberately discarded without a write-back
+    #: (datamove write-back elision proved it dead: no live reader, and a
+    #: live task will overwrite it).  A discarded entry may legally have no
+    #: holder; the next :meth:`Directory.record_write` clears the flag.
+    discarded: bool = False
 
 
 class Directory:
@@ -137,6 +142,7 @@ class Directory:
         ent = self.entry(region)
         ent.version += 1
         ent.producer = producer
+        ent.discarded = False
         self._count("writes_recorded")
         if self.metrics is not None and len(ent.holders) > 1:
             # Every other holder's copy just became stale.
@@ -160,6 +166,22 @@ class Directory:
             ent.holders.remove(space)
             self._count("drops_recorded")
 
+    def record_discard(self, region: Region, space: AddressSpace) -> None:
+        """``space`` discarded a *dead* version without writing it back.
+
+        Unlike :meth:`record_drop` this may strand the region with no
+        holder: the datamove layer's liveness proof guarantees no live task
+        will ever read this version again (a live task will overwrite it,
+        and the overwrite's :meth:`record_write` re-establishes holders
+        before any flush can look).  The entry is marked ``discarded`` so
+        coherence invariant checks know the hole is intentional."""
+        ent = self.entry(region)
+        if space in ent.holders:
+            ent.holders.remove(space)
+            if not ent.holders:
+                ent.discarded = True
+            self._count("discards_recorded")
+
     def invalidate_space(self, space: AddressSpace) -> list[Region]:
         """Discard every replica held by ``space`` (device loss).
 
@@ -178,6 +200,11 @@ class Directory:
         if dropped and self.metrics is not None:
             self.metrics.inc("directory.fault_invalidations", dropped)
         return orphaned
+
+    def peek(self, region: Region) -> "DirectoryEntry | None":
+        """The entry for ``region`` if one exists — no side effects (entry()
+        would create one, which read-only consumers must not)."""
+        return self._entries.get(region.key)
 
     def all_regions(self) -> list[Region]:
         return [e.region for e in self._entries.values()]

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ...faults.errors import RegionLostError
+from ...gasnet.am import SHORT_SIZE
 from ..task import Task, TaskState
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -46,6 +48,9 @@ class NodeProxy:
         #: dispatched-but-unacknowledged tasks keyed by tid (Task equality
         #: recurses through successor lists, so identity keys only).
         self.inflight: dict[int, Task] = {}
+        #: tids whose inputs the datamove prestage already started moving
+        #: (prevents re-spawning the same speculative fetches every poll).
+        self.prestaged: set[int] = set()
 
     def accepts(self, task: Task) -> bool:
         # A remote node has CPUs and a GPU: it can host either device kind.
@@ -83,9 +88,13 @@ class CommThread:
     def run(self):
         """Round-robin polling loop (a simulated process)."""
         rt = self.rt
+        dm = rt.datamove
+        depth = 0 if dm is None else dm.presend_depth
+        batching = dm is not None and dm.coalescer is not None
         while rt.running:
             progressed = False
             for proxy in self.proxies:
+                batch: "list[Task] | None" = [] if batching else None
                 while proxy.outstanding < self.window:
                     task = self.image.scheduler.next_task(proxy)
                     if task is None:
@@ -103,10 +112,30 @@ class CommThread:
                         metrics.inc(f"{node_ns}.presends")
                     metrics.gauge(f"{node_ns}.outstanding").set(
                         proxy.outstanding)
-                    self.env.process(self._dispatch(proxy, task))
+                    if batch is not None and self._staged(task, proxy):
+                        # Inputs already at the node: no staging leg, so
+                        # the control message can fuse with siblings from
+                        # this poll round into one batched AM.
+                        batch.append(task)
+                    else:
+                        self.env.process(self._dispatch(proxy, task))
+                    progressed = True
+                if batch:
+                    if len(batch) == 1:
+                        self.env.process(self._dispatch(proxy, batch[0]))
+                    else:
+                        self.env.process(self._dispatch_batch(proxy, batch))
+                if depth and self._prestage(proxy, depth):
                     progressed = True
             if not progressed:
                 yield rt.wait_for_work()
+
+    def _staged(self, task: Task, proxy: NodeProxy) -> bool:
+        """True when every input region is already current somewhere on the
+        proxy's node (dispatch needs no staging fetches)."""
+        rt = self.rt
+        return all(proxy.node_index in rt.directory.nodes_with(acc.region)
+                   for acc in task.inputs)
 
     def _dispatch(self, proxy: NodeProxy, task: Task):
         """Stage data at the node, then start remote execution."""
@@ -133,6 +162,58 @@ class CommThread:
                              f"ctl:0->{proxy.node_index}", start,
                              self.env.now)
 
+    def _dispatch_batch(self, proxy: NodeProxy, tasks: list[Task]):
+        """Start several staged tasks with one fused control message:
+        one wire latency + handler overhead for the whole batch instead of
+        one per task — the dispatch-path face of transfer coalescing."""
+        rt = self.rt
+        for task in tasks:
+            task.state = TaskState.RUNNING
+            task.assigned_to = proxy
+        start = self.env.now
+        yield rt.am.request(0, proxy.node_index, "nanos.run_tasks",
+                            list(tasks),
+                            payload_bytes=SHORT_SIZE * len(tasks),
+                            fused=len(tasks))
+        rt.metrics.inc("cluster.ctl_batches")
+        rt.metrics.inc("cluster.ctl_batched_tasks", len(tasks))
+        nic_tx = rt.machine.nodes[0].nic_tx
+        if nic_tx is not None:
+            nic_tx.count_fused(len(tasks))
+        if rt.tracer is not None:
+            names = ",".join(t.name for t in tasks)
+            rt.tracer.record("message", f"run[{len(tasks)}]:{names}",
+                             f"ctl:0->{proxy.node_index}", start,
+                             self.env.now)
+
+    def _prestage(self, proxy: NodeProxy, depth: int) -> bool:
+        """Speculatively move the inputs of the next ``depth`` queued tasks
+        to the proxy's node (scheduler lookahead beyond the credit window).
+        Returns True when new fetches were actually started."""
+        rt = self.rt
+        node_host = rt.host_space(proxy.node_index)
+        launched = False
+        for task in self.image.scheduler.peek_for(proxy, depth):
+            if task.tid in proxy.prestaged:
+                continue
+            proxy.prestaged.add(task.tid)
+            rt.metrics.inc(f"cluster.node{proxy.node_index}.prestages")
+            for acc in task.inputs:
+                if proxy.node_index in rt.directory.nodes_with(acc.region):
+                    continue
+                self.env.process(
+                    self._prestage_fetch(acc.region, node_host))
+                launched = True
+        return launched
+
+    def _prestage_fetch(self, region, node_host):
+        try:
+            yield from self.rt.coherence.fetch(region, node_host)
+        except RegionLostError:
+            # Speculative fetch racing a device loss: give up quietly —
+            # the real dispatch repeats the fetch under fault recovery.
+            self.rt.metrics.inc("cluster.prestage_aborted")
+
     def on_remote_complete(self, task: Task, node_index: int) -> None:
         """Handler-side bookkeeping for a task completion message.
 
@@ -155,6 +236,7 @@ class CommThread:
                     self.rt.metrics.inc("cluster.stale_completions")
                     return
                 del proxy.inflight[task.tid]
+                proxy.prestaged.discard(task.tid)
                 proxy.outstanding -= 1
                 assert proxy.outstanding >= 0, "presend window broke"
                 self.rt.metrics.gauge(

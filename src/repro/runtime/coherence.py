@@ -42,6 +42,9 @@ class CoherenceEngine:
         self.env = runtime.env
         self.directory = runtime.directory
         self.config = runtime.config
+        #: the datamove optimisation layer, or None (all flags off) — the
+        #: None case must execute the byte-identical historical paths.
+        self.datamove = runtime.datamove
         #: (space id, region key, version) -> completion event of the fetch.
         self._inflight: dict[tuple[int, tuple, int], Event] = {}
         #: per-link bound counter pairs (the f-string names are built and
@@ -173,23 +176,48 @@ class CoherenceEngine:
                     cache.mark_dirty(acc.region)
         if faults is not None:
             task._committed = True
+        if self.datamove is not None:
+            # Publish point passed: the task's writes install in the
+            # liveness tables and it stops counting as a live reader or
+            # overwriter — *before* the elision decisions below, so its
+            # own fresh version is never judged dead by its own write
+            # entry.  A torn commit returns above without reaching this,
+            # keeping the re-executed task's sequence entries intact.
+            self.datamove.note_commit(task)
         if cache is None or lost:
             return
         policy = self.config.cache_policy
+        dm = self.datamove
         if policy is CachePolicy.WRITE_THROUGH:
-            # Propagate every write to host memory immediately.
+            # Propagate every write to host memory immediately — unless the
+            # version is already dead (a live task will overwrite it and
+            # nobody reads it): then the write-through is elided and the
+            # entry stays dirty, exactly as write-back would keep it.
             for acc in written:
-                yield from self._writeback(acc.region, space, cache, place)
+                if dm is not None and dm.may_elide_writeback(acc.region):
+                    dm.count_elision(acc.region)
+                else:
+                    yield from self._writeback(acc.region, space, cache,
+                                               place)
         elif policy is CachePolicy.NO_CACHE:
             # Move data out always: write back outputs, then drop everything
-            # the task touched so nothing is reused.
+            # the task touched so nothing is reused.  Dead versions skip
+            # the write-back and are dropped as deliberate discards.
+            elided: set = set()
             for acc in written:
-                yield from self._writeback(acc.region, space, cache, place)
+                if dm is not None and dm.may_elide_writeback(acc.region):
+                    dm.count_elision(acc.region)
+                    cache.clear_dirty(acc.region)
+                    elided.add(acc.region.key)
+                else:
+                    yield from self._writeback(acc.region, space, cache,
+                                               place)
             for acc in copy_accs:
                 self._safe_unpin(acc.region, cache, faults)
                 ent = cache.entry_or_none(acc.region)
                 if ent is not None and ent.pin_count == 0:
-                    self._drop_entry(acc.region, space, cache)
+                    self._drop_entry(acc.region, space, cache,
+                                     dead=acc.region.key in elided)
             return
         # WB / WT: just unpin; entries stay resident.
         for acc in copy_accs:
@@ -253,18 +281,30 @@ class CoherenceEngine:
         ent = cache.entry_or_none(region)
         if ent is None or ent.pin_count > 0:
             return
+        dead = False
         if ent.dirty:
-            yield from self._writeback(region, space, cache,
-                                       place=self.rt.place_of(space))
+            dm = self.datamove
+            if dm is not None and dm.may_elide_writeback(region):
+                # Dead version: a live task will overwrite it and no live
+                # task reads it — drop without moving a byte to the host.
+                dm.count_elision(region)
+                cache.clear_dirty(region)
+                dead = True
+            else:
+                yield from self._writeback(region, space, cache,
+                                           place=self.rt.place_of(space))
         ent = cache.entry_or_none(region)
         if ent is not None and ent.pin_count == 0:
-            self._drop_entry(region, space, cache)
+            self._drop_entry(region, space, cache, dead=dead)
 
     def _drop_entry(self, region: Region, space: AddressSpace,
-                    cache: SoftwareCache) -> None:
+                    cache: SoftwareCache, dead: bool = False) -> None:
         cache.remove(region)
         if self.directory.is_current(region, space):
-            self.directory.record_drop(region, space)
+            if dead:
+                self.directory.record_discard(region, space)
+            else:
+                self.directory.record_drop(region, space)
         space.drop(region)
 
     def _writeback(self, region: Region, space: AddressSpace,
@@ -394,16 +434,42 @@ class CoherenceEngine:
     # ------------------------------------------------------------------
     def _net_copy(self, region: Region, src: AddressSpace,
                   dst: AddressSpace):
+        dm = self.datamove
+        if dm is not None and dm.coalescer is not None:
+            key = ("net", src.node_index, dst.node_index)
+            yield from dm.coalescer.submit(
+                key, region,
+                lambda regions: self._issue_net(regions, src, dst))
+            return
+        yield from self._issue_net([region], src, dst)
+
+    def _issue_net(self, regions: list[Region], src: AddressSpace,
+                   dst: AddressSpace):
+        """One wire transfer carrying ``regions`` (one region = the
+        historical solo message; several = a fused AM payload paying one
+        latency + handler overhead for the summed bytes)."""
         am = self.rt.am
         assert am is not None, "network leg without a cluster fabric"
         start = self.env.now
-        yield am.request(src.node_index, dst.node_index, "nanos.region_data",
-                         region, src, dst, payload_bytes=region.nbytes)
+        total = sum(r.nbytes for r in regions)
+        if len(regions) == 1:
+            yield am.request(src.node_index, dst.node_index,
+                             "nanos.region_data", regions[0], src, dst,
+                             payload_bytes=total)
+        else:
+            yield am.request(src.node_index, dst.node_index,
+                             "nanos.region_data_multi", list(regions), src,
+                             dst, payload_bytes=total, fused=len(regions))
+            nic_tx = self.rt.machine.nodes[src.node_index].nic_tx
+            if nic_tx is not None:
+                nic_tx.count_fused(len(regions))
         link = f"net:{src.node_index}->{dst.node_index}"
-        self._count_leg(link, region.nbytes)
-        if self.rt.tracer is not None:
-            self.rt.tracer.record("transfer", region.obj.name, link,
-                                  start, self.env.now, nbytes=region.nbytes)
+        for region in regions:
+            self._count_leg(link, region.nbytes)
+            if self.rt.tracer is not None:
+                self.rt.tracer.record("transfer", region.obj.name, link,
+                                      start, self.env.now,
+                                      nbytes=region.nbytes)
 
     def _move_leg(self, region: Region, src: AddressSpace,
                   dst: AddressSpace, place):
@@ -418,7 +484,15 @@ class CoherenceEngine:
             gpu_space = dst if dst.kind == "gpu" else src
             direction = "h2d" if dst.kind == "gpu" else "d2h"
             manager = self.rt.gpu_manager_of(gpu_space)
-            yield from manager.dma(region.nbytes, direction)
+            dm = self.datamove
+            if dm is not None and dm.coalescer is not None:
+                key = ("dma", id(manager), direction)
+                yield from dm.coalescer.submit(
+                    key, region,
+                    lambda regions: manager.dma_fused(
+                        [r.nbytes for r in regions], direction))
+            else:
+                yield from manager.dma(region.nbytes, direction)
         if self.config.functional:
             dst.write(region, src.read(region))
         link = f"link:{src.name}->{dst.name}"

@@ -61,6 +61,28 @@ class RuntimeConfig:
     #: ``object`` to keep this module import-light (faults imports runtime
     #: pieces lazily, not the other way around).
     fault_plan: object = None
+    # -- data-movement optimisation layer (repro.runtime.datamove) --------
+    # All four mechanisms default off: with every flag at its default the
+    # runtime constructs no DataMover and executes the identical event
+    # stream, keeping the golden makespans bit-identical.
+    #: skip the host write-back of a dirty region whose version is dead —
+    #: no live task still reads it and a live task will overwrite it.
+    wb_elision: bool = False
+    #: fuse region transfers queued on the same channel (NIC direction or
+    #: GPU DMA direction) within ``coalesce_window`` into one payload:
+    #: one latency charge, summed bandwidth.
+    coalescing: bool = False
+    #: how long (simulated seconds) a congested channel collects transfers
+    #: before issuing the fused batch.  Only consulted when ``coalescing``
+    #: is on; an idle channel always sends immediately (no window tax).
+    coalesce_window: float = 2e-6
+    #: tasks the cluster master prestages *beyond* the presend credit
+    #: window, via scheduler lookahead: slaves compute task k while the
+    #: inputs of tasks k+1..k+depth are already in flight.
+    presend_depth: int = 0
+    #: break cache-eviction LRU ties by re-fetch cost (nbytes divided by
+    #: the source link bandwidth): cheap-to-refetch regions evict first.
+    cost_aware_eviction: bool = False
 
     def __post_init__(self):
         object.__setattr__(self, "cache_policy",
@@ -82,6 +104,10 @@ class RuntimeConfig:
             raise ValueError("task_overhead cannot be negative")
         if self.rr_chunk < 1:
             raise ValueError("rr_chunk must be at least 1")
+        if self.coalesce_window <= 0:
+            raise ValueError("coalesce_window must be positive")
+        if self.presend_depth < 0:
+            raise ValueError("presend_depth cannot be negative")
         if self.fault_plan is not None and not hasattr(
                 self.fault_plan, "is_empty"):
             # Duck-typed on purpose: importing repro.faults here would
@@ -94,6 +120,12 @@ class RuntimeConfig:
         """A copy with the given fields replaced (sweep helper)."""
         return replace(self, **changes)
 
+    @property
+    def datamove_enabled(self) -> bool:
+        """True when any data-movement optimisation flag is active."""
+        return bool(self.wb_elision or self.coalescing
+                    or self.presend_depth or self.cost_aware_eviction)
+
     def describe(self) -> str:
         """Short label used by the benchmark tables, e.g. ``wb-affinity``."""
         parts = [self.cache_policy.value, self.scheduler]
@@ -104,4 +136,12 @@ class RuntimeConfig:
         if self.presend:
             parts.append(f"ps{self.presend}")
         parts.append("stos" if self.slave_to_slave else "mtos")
+        if self.wb_elision:
+            parts.append("elide")
+        if self.coalescing:
+            parts.append("coal")
+        if self.presend_depth:
+            parts.append(f"pd{self.presend_depth}")
+        if self.cost_aware_eviction:
+            parts.append("cae")
         return "-".join(parts)

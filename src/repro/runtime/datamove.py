@@ -1,0 +1,341 @@
+"""The data-movement optimisation layer (``RuntimeConfig`` datamove flags).
+
+The paper's headline results come from *hiding* data movement: the software
+cache, master-to-slave presend, and transfer/compute overlap.  This module
+adds four mechanisms on top of the baseline protocol, each gated by its own
+``RuntimeConfig`` flag and each a no-op when disabled (with every flag off
+the runtime constructs no :class:`DataMover` at all, so the event stream —
+and therefore every golden makespan — is bit-identical):
+
+* **write-back elision** (``wb_elision``) — :class:`LivenessTracker` orders
+  accesses per region by write sequence.  A dirty *version* whose remaining
+  readers have all finished and whose next writer is a live pure-output copy
+  access is *dead*: evicting it (or committing it under write-through /
+  no-cache) skips the host write-back entirely.  The
+  directory records the deliberate hole (:meth:`Directory.record_discard`)
+  so invariant checks and fault recovery can tell it from data loss.
+
+* **transfer coalescing** (``coalescing``) — :class:`TransferCoalescer`
+  groups region transfers headed for the same channel (one NIC direction,
+  one GPU DMA direction, or the master dispatch control path).  An idle
+  channel sends immediately — no added latency — but while the channel is
+  busy, arrivals collect for ``coalesce_window`` simulated seconds and then
+  issue as one fused payload: one latency + per-message overhead charge,
+  summed bandwidth.  Fused vs solo transfers are distinguished in metrics.
+
+* **presend pipelining** (``presend_depth``) — the cluster master's
+  communication thread peeks ``presend_depth`` tasks ahead in the affinity
+  queues (beyond the dispatch credit window) and prestages their inputs at
+  the target node, so slaves compute task *k* while the data of tasks
+  *k+1..k+depth* is in flight.
+
+* **cost-aware eviction** (``cost_aware_eviction``) — :meth:`make_cost_fn`
+  gives each software cache a re-fetch cost estimator (bytes over the
+  source link bandwidth, plus the write-back a dirty victim would cost);
+  the cache evicts cheapest-to-refetch first within a widened LRU window.
+
+Everything here is bookkeeping: no method schedules simulated events except
+the coalescer's window timer, which only exists while a fused batch is
+forming.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..memory.region import Region, RegionKey
+from ..sim import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..memory.cache import CacheEntry, SoftwareCache
+    from ..memory.space import AddressSpace
+    from .runtime import Runtime
+    from .task import Task
+
+__all__ = ["DataMover", "LivenessTracker", "TransferCoalescer"]
+
+
+class LivenessTracker:
+    """Version-aware liveness: which region versions can still be read.
+
+    Region-level reader *counts* are useless for elision: a program that
+    submits all its iterations up front (STREAM, matmul) always has live
+    future readers of every region — but those readers consume future
+    versions, not the one sitting dirty in a cache now.  The tracker
+    therefore orders accesses by a per-region **write sequence**: every
+    writer submitted bumps the sequence, a reader consumes the state after
+    the writers submitted before it, and commits (which happen in sequence
+    order, enforced by the dependency graph's RAW/WAR/WAW arcs) advance an
+    *installed* pointer.
+
+    The installed version ``s`` of a region is **dead** when:
+
+    * the next live writer ``w1`` (the lowest uncommitted write sequence
+      above ``s``) is a *pure copy overwriter* — a publish-through-commit
+      access that writes without reading, so it replaces the bytes without
+      ever observing them; and
+    * no unfinished reader consumes the installed version — i.e. no live
+      task holds a read sequence in ``[s, w1)``.
+
+    Submission order is program order (OmpSs tasks are created by one
+    sequential main), which is what makes the sequence attribution exact.
+    """
+
+    __slots__ = ("_wseq", "_installed", "_live")
+
+    def __init__(self):
+        #: last assigned write sequence per region (0 = registration state)
+        self._wseq: dict[RegionKey, int] = {}
+        #: write sequence of the currently committed (installed) version
+        self._installed: dict[RegionKey, int] = {}
+        #: key -> {tid: (read_seq | None, write_seq | None, pure_copy)}
+        self._live: dict[RegionKey, dict[int, tuple]] = {}
+
+    def task_submitted(self, task: "Task") -> None:
+        # Merge the dependence and copy clauses into one direction per key.
+        info: dict[RegionKey, list] = {}
+        for acc in task.accesses:
+            e = info.setdefault(acc.region.key, [False, False, False])
+            e[0] |= acc.direction.reads
+            e[1] |= acc.direction.writes
+        for acc in task.copies:
+            e = info.setdefault(acc.region.key, [False, False, False])
+            e[0] |= acc.direction.reads
+            e[1] |= acc.direction.writes
+        # Only copy-clause writes publish a new version through
+        # commit_outputs; a dependence-only OUT mutates data without a
+        # commit, so it can never cover a discard.
+        for acc in task.copy_accesses:
+            if acc.direction.writes:
+                info[acc.region.key][2] = True
+        entries = []
+        tid = task.tid
+        for key, (reads, writes, publishes) in info.items():
+            r = self._wseq.get(key, 0) if reads else None
+            w = None
+            if writes:
+                w = self._wseq.get(key, 0) + 1
+                self._wseq[key] = w
+            pure = publishes and writes and not reads
+            entries.append((key, r, w, pure))
+            self._live.setdefault(key, {})[tid] = (r, w, pure)
+        task._liveness_entries = entries
+
+    def task_committed(self, task: "Task") -> None:
+        """The task's writes are being published: advance the installed
+        pointers and drop it from the live tables (its reads are done)."""
+        self._retire(task, installs=True)
+
+    def task_finished(self, task: "Task") -> None:
+        # A task that committed was already retired there; a copy-less
+        # task (or one whose device died after publishing) retires here.
+        # Its writes — if any — happened (SMP tasks mutate host data
+        # directly), so they install too.
+        self._retire(task, installs=True)
+
+    def _retire(self, task: "Task", installs: bool) -> None:
+        entries = getattr(task, "_liveness_entries", None)
+        if entries is None:
+            return
+        task._liveness_entries = None
+        tid = task.tid
+        for key, _r, w, _pure in entries:
+            live = self._live.get(key)
+            if live is not None:
+                live.pop(tid, None)
+                if not live:
+                    del self._live[key]
+            if installs and w is not None \
+                    and w > self._installed.get(key, 0):
+                self._installed[key] = w
+
+    def version_is_dead(self, region: Region) -> bool:
+        """True when the installed version of ``region`` can never be
+        observed again: its next writer is a live pure copy overwriter and
+        every reader of the installed version has finished."""
+        live = self._live.get(region.key)
+        if not live:
+            return False
+        s = self._installed.get(region.key, 0)
+        w1 = None
+        w1_pure = False
+        for _r, w, pure in live.values():
+            if w is not None and w > s and (w1 is None or w < w1):
+                w1, w1_pure = w, pure
+        if w1 is None or not w1_pure:
+            return False
+        for r, _w, _pure in live.values():
+            if r is not None and s <= r < w1:
+                return False
+        return True
+
+
+class TransferCoalescer:
+    """Window-based batching of transfers per channel.
+
+    A *channel* is one serialization point: ``("net", src_node, dst_node)``
+    for a NIC direction, ``("dma", manager_id, direction)`` for one GPU's
+    DMA direction, or ``("ctl", node)`` for the master's dispatch control
+    stream.  The policy is congestion-triggered: the first transfer on an
+    idle channel issues immediately and alone (batching it would only add
+    the window's delay); transfers arriving while the channel has an issue
+    in flight open a window and fuse.
+    """
+
+    def __init__(self, rt: "Runtime", window: float):
+        self.rt = rt
+        self.env = rt.env
+        self.window = window
+        #: channel -> list of (entry, completion event) collecting a batch.
+        self._open: dict[tuple, list] = {}
+        #: channel -> number of issues currently in flight.
+        self._active: dict[tuple, int] = {}
+        metrics = rt.metrics
+        self._c_solo = metrics.counter("datamove.solo_transfers")
+        self._c_fused = metrics.counter("datamove.fused_transfers")
+        self._c_batches = metrics.counter("datamove.fused_batches")
+
+    def submit(self, key: tuple, entry,
+               issue: Callable[[list], "object"]):
+        """Process generator: route ``entry`` through channel ``key``.
+
+        ``issue(entries)`` is a process generator moving a whole batch in
+        one shot; the solo path runs it inline (identical event stream to
+        an uncoalesced transfer), the fused path parks the caller on the
+        batch's completion event.
+        """
+        batch = self._open.get(key)
+        if batch is None and not self._active.get(key):
+            # Idle channel: nothing to fuse with, send now — zero window tax.
+            self._active[key] = self._active.get(key, 0) + 1
+            try:
+                yield from issue([entry])
+            finally:
+                self._active[key] -= 1
+            self._c_solo.value += 1
+            return
+        if batch is None:
+            batch = self._open[key] = []
+            self.env.process(self._flush_after_window(key, issue))
+        done = Event(self.env)
+        batch.append((entry, done))
+        yield done
+
+    def _flush_after_window(self, key: tuple, issue):
+        yield self.env.timeout(self.window)
+        batch = self._open.pop(key)
+        self._active[key] = self._active.get(key, 0) + 1
+        try:
+            yield from issue([entry for entry, _ in batch])
+        except BaseException as exc:  # noqa: BLE001 - fan the failure out
+            self._active[key] -= 1
+            for _, done in batch:
+                done.fail(exc)
+            return
+        self._active[key] -= 1
+        self._c_batches.value += 1
+        self._c_fused.value += len(batch)
+        for _, done in batch:
+            done.succeed()
+
+
+class DataMover:
+    """Facade the runtime consults; holds whichever mechanisms are on."""
+
+    def __init__(self, rt: "Runtime"):
+        cfg = rt.config
+        self.rt = rt
+        self.elision = cfg.wb_elision
+        self.presend_depth = cfg.presend_depth
+        self.liveness: Optional[LivenessTracker] = (
+            LivenessTracker()
+            if (cfg.wb_elision or cfg.cost_aware_eviction) else None)
+        self.coalescer: Optional[TransferCoalescer] = (
+            TransferCoalescer(rt, cfg.coalesce_window)
+            if cfg.coalescing else None)
+        self._c_elisions = rt.metrics.counter("datamove.writebacks_elided")
+        self._c_elided_bytes = rt.metrics.counter("datamove.bytes_elided")
+
+    # -- liveness hooks (called by the runtime on task lifecycle) --------
+    def note_submit(self, task: "Task") -> None:
+        if self.liveness is not None:
+            self.liveness.task_submitted(task)
+
+    def note_commit(self, task: "Task") -> None:
+        """The task's commit has *published* its outputs (directory
+        updated): its writes install, it stops reading, and its own fresh
+        version must no longer look overwritable by its own write entry.
+        Called only after the publish point — a torn commit never installs,
+        so the re-executed task keeps its original sequence numbers."""
+        if self.liveness is not None:
+            self.liveness.task_committed(task)
+
+    def note_finish(self, task: "Task") -> None:
+        # Idempotent with note_commit; retires copy-less (SMP) tasks whose
+        # host-side writes happen without a commit.
+        if self.liveness is not None:
+            self.liveness.task_finished(task)
+
+    def note_resubmit(self, task: "Task") -> None:
+        """Fault recovery is re-executing ``task``.  Requeue only happens
+        before a successful commit, so the task was never retired: its
+        sequence entries are intact and re-execution reuses them.  Kept as
+        an explicit hook (and assertion point) rather than silent reliance
+        on that invariant."""
+        if self.liveness is not None:
+            assert getattr(task, "_liveness_entries", None) is not None, \
+                "requeued task was already retired from liveness"
+
+    # -- write-back elision ----------------------------------------------
+    def may_elide_writeback(self, region: Region) -> bool:
+        if not self.elision:
+            return False
+        return self.liveness.version_is_dead(region)
+
+    def count_elision(self, region: Region) -> None:
+        self._c_elisions.value += 1
+        self._c_elided_bytes.value += region.nbytes
+
+    # -- cost-aware eviction ---------------------------------------------
+    def make_cost_fn(self, cache: "SoftwareCache"
+                     ) -> Callable[["CacheEntry"], float]:
+        """Re-fetch cost estimator for one device cache, in seconds.
+
+        Costs: a dirty victim pays its write-back first; refetching then
+        costs one PCIe leg when a same-node host copy exists (or will,
+        after the write-back), and a NIC wire leg on top when the data
+        lives only on a remote node.  A dead dirty version (see
+        :class:`LivenessTracker`) costs nothing — it will never be fetched
+        again — which composes elision with eviction ordering.
+        """
+        rt = self.rt
+        space = cache.space
+        node = rt.machine.nodes[space.node_index]
+        gpu = node.gpus[space.device_index]
+        pcie_bw = gpu.spec.pcie_pinned_bw
+        nic_bw = (rt.machine.network.nic.bandwidth
+                  if rt.is_cluster else None)
+        directory = rt.directory
+        liveness = self.liveness
+
+        def cost(ent: "CacheEntry") -> float:
+            region = ent.region
+            nbytes = region.nbytes
+            if ent.dirty and liveness is not None \
+                    and self.elision and liveness.version_is_dead(region):
+                return 0.0
+            seconds = nbytes / pcie_bw          # the refetch PCIe leg
+            if ent.dirty:
+                seconds += nbytes / pcie_bw     # write-back before the drop
+                return seconds                  # host then holds the source
+            dent = directory.peek(region)
+            if dent is not None and not any(
+                    s.kind == "host" and s.node_index == space.node_index
+                    for s in dent.holders):
+                # No same-node host copy: the refetch crosses the fabric
+                # (or drains a sibling device first).
+                seconds += (nbytes / nic_bw if nic_bw is not None
+                            else nbytes / pcie_bw)
+            return seconds
+
+        return cost

@@ -163,6 +163,14 @@ class AffinityScheduler(Scheduler):
                     return task
         return None
 
+    def peek_for(self, worker: WorkerProtocol, n: int) -> list[Task]:
+        """Lookahead into the worker's *local* queue only.  Global-queue and
+        steal candidates are deliberately not previewed: any worker may take
+        them, so prestaging their data would fan the same speculative
+        transfers out to every node (observed to congest the master's NIC
+        far beyond what the overlap wins back)."""
+        return self._local[id(worker)].peek_for(worker, n)
+
     @property
     def pending(self) -> int:
         return len(self.global_queue) + sum(len(q) for q in self._local.values())

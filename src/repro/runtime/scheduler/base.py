@@ -74,6 +74,24 @@ class TaskQueue:
         self._bucket(task).appendleft((self._front_seq, task))
         self._size += 1
 
+    def peek_for(self, worker: WorkerProtocol, n: int) -> list[Task]:
+        """Up to ``n`` queued tasks the worker could execute, in readiness
+        order, *without* removing them (datamove prestage lookahead).
+        Signature purity (see :class:`WorkerProtocol`) means checking each
+        bucket's head covers the whole bucket."""
+        if not self._size or n <= 0:
+            return []
+        items: list[tuple[int, Task]] = []
+        for bucket in self._buckets.values():
+            if bucket and worker.accepts(bucket[0][1]):
+                count = min(n, len(bucket))
+                for i, item in enumerate(bucket):
+                    if i >= count:
+                        break
+                    items.append(item)
+        items.sort(key=lambda seq_task: seq_task[0])
+        return [task for _seq, task in items[:n]]
+
     def pop_for(self, worker: WorkerProtocol) -> Optional[Task]:
         """First queued task the worker can execute (stable order)."""
         if not self._size:
@@ -190,6 +208,15 @@ class Scheduler:
     def next_task(self, worker: WorkerProtocol) -> Optional[Task]:
         """Non-blocking poll for the next task ``worker`` should run."""
         return self.global_queue.pop_for(worker)
+
+    def peek_for(self, worker: WorkerProtocol, n: int) -> list[Task]:
+        """Up to ``n`` tasks ``worker`` would be handed next, left queued.
+        Used by the cluster master's prestage lookahead (presend_depth).
+        The base scheduler has only the global queue, whose tasks any
+        worker may take — previewing it would prestage the same data to
+        every node — so it reports no lookahead; only placement-aware
+        schedulers (affinity) can preview usefully."""
+        return []
 
     # -- subclass hook ----------------------------------------------------------
     def _place(self, task: Task) -> None:

@@ -33,6 +33,33 @@ def test_fig13_structure():
     assert "ompss" in text and "mpi+cuda" in text
 
 
+def test_fig_datamove_points_structure():
+    """The datamove figure's grid: baseline and datamove series over the
+    two comm-bound points, every point carrying its counter snapshot (the
+    mechanism table is the figure's point).  Running the full points is a
+    benchmark job (benchmarks/perf/comm_bench.py), not a unit test."""
+    from repro.bench.figures import (DATAMOVE_FLAGS, DATAMOVE_POINTS,
+                                     fig_datamove_points)
+    points = fig_datamove_points()
+    assert {p.series for p in points} == {"baseline", "datamove"}
+    assert {p.x for p in points} == set(DATAMOVE_POINTS)
+    assert len(points) == 4
+    for p in points:
+        assert p.want_metrics
+        if p.series == "datamove":
+            for flag, value in DATAMOVE_FLAGS.items():
+                assert getattr(p.config, flag) == value
+            assert p.config.datamove_enabled
+        else:
+            assert not p.config.datamove_enabled
+
+
+def test_fig_datamove_registered_in_cli():
+    from repro.bench.__main__ import FIGURES
+    from repro.bench.figures import fig_datamove
+    assert FIGURES["fig-dm"] is fig_datamove
+
+
 def test_figure_result_value_lookup_error():
     fr = FigureResult(figure="F", title="t", x_label="x", xs=[1], unit="u")
     fr.add("s", [1.0])

@@ -51,6 +51,12 @@ def test_benchmarks_snippets_run(i, capsys):
     exec(compile(code, f"BENCHMARKS.md[block {i}]", "exec"), {})
 
 
+@pytest.mark.parametrize("i", range(len(python_blocks("DATAMOVE.md"))))
+def test_datamove_snippets_run(i, capsys):
+    code = python_blocks("DATAMOVE.md")[i]
+    exec(compile(code, f"DATAMOVE.md[block {i}]", "exec"), {})
+
+
 def test_docs_readme_links_resolve():
     """docs/README.md is the index — every link target must exist."""
     text = (DOCS / "README.md").read_text()

@@ -1,0 +1,119 @@
+"""Fault injection with the datamove optimisation layer fully enabled.
+
+Write-back elision deliberately *discards* data the liveness tracker
+proved dead; coalescing reorders when bytes cross links; prestaging moves
+them speculatively.  All of that must compose with chaos: kernels abort,
+GPUs die mid-commit, PCIe degrades — and every recovered run must still
+produce outputs bit-identical to the fault-free computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import matmul, nbody, stream
+from repro.bench.harness import fresh_cluster, fresh_multi_gpu
+from repro.faults import FaultEvent, FaultPlan
+from repro.runtime.config import RuntimeConfig
+
+from .helpers import assert_same_outputs
+
+_MM = matmul.MatmulSize(n=96, bs=32)
+_ST = stream.StreamSize(n=1024, bsize=128, ntimes=2)
+_NB = nbody.NBodySize(n=256, blocks=4, iters=2)
+
+#: every datamove mechanism on at once (presend_depth only matters on the
+#: cluster scenario but is harmless elsewhere).
+_DM = dict(wb_elision=True, coalescing=True, presend_depth=2,
+           cost_aware_eviction=True)
+
+_BASE = dict(functional=True, cache_policy="wb", scheduler="affinity",
+             kernel_jitter=0.02, task_overhead=50e-6, **_DM)
+
+
+def _mm_mgpu(plan):
+    cfg = RuntimeConfig(**_BASE, fault_plan=plan)
+    return matmul.run_ompss(fresh_multi_gpu(2), _MM, config=cfg,
+                            verify=True)
+
+
+def _st_mgpu(plan):
+    cfg = RuntimeConfig(**{**_BASE, "scheduler": "default"},
+                        fault_plan=plan)
+    return stream.run_ompss(fresh_multi_gpu(2), _ST, config=cfg,
+                            verify=True)
+
+
+def _nb_mgpu(plan):
+    cfg = RuntimeConfig(**_BASE, fault_plan=plan)
+    return nbody.run_ompss(fresh_multi_gpu(2), _NB, config=cfg,
+                           verify=True)
+
+
+def _mm_cluster(plan):
+    cfg = RuntimeConfig(**_BASE, presend=2, fault_plan=plan)
+    return matmul.run_ompss(fresh_cluster(2), _MM, config=cfg,
+                            init="smp", verify=True)
+
+
+SCENARIOS = {
+    "matmul-mgpu": _mm_mgpu,
+    "stream-mgpu": _st_mgpu,
+    "nbody-mgpu": _nb_mgpu,
+    "matmul-cluster": _mm_cluster,
+}
+
+_PLANS = {
+    "aborts": FaultPlan(events=(
+        FaultEvent(kind="kernel_abort", probability=0.15),
+    ), seed=11, paranoid=True),
+    "gpu-loss": FaultPlan(events=(
+        FaultEvent(kind="gpu_loss", node=0, gpu=1, at=1.5e-3),
+    ), seed=12, paranoid=True, protect_outputs=True),
+    "mixed": FaultPlan(events=(
+        FaultEvent(kind="kernel_abort", probability=0.1),
+        FaultEvent(kind="pcie_degrade", node=0, gpu=0, at=1e-3,
+                   duration=2e-3, factor=3.0),
+    ), seed=13, paranoid=True),
+}
+
+_baselines: dict = {}
+
+
+def _baseline(name):
+    if name not in _baselines:
+        _baselines[name] = SCENARIOS[name](None)
+    return _baselines[name]
+
+
+@pytest.mark.parametrize("plan_name", sorted(_PLANS))
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_recovery_is_bit_identical_with_datamove_on(scenario, plan_name):
+    ref = _baseline(scenario)
+    res = SCENARIOS[scenario](_PLANS[plan_name])
+    assert_same_outputs(ref, res)
+
+
+def test_flags_do_not_change_results_under_faults():
+    """The same chaos plan with and without datamove flags computes the
+    same numbers (timings differ; data never does)."""
+    plan = _PLANS["aborts"]
+    with_flags = _mm_mgpu(plan)
+    off = dict(_BASE)
+    for key in _DM:
+        off.pop(key)
+    without = matmul.run_ompss(
+        fresh_multi_gpu(2), _MM,
+        config=RuntimeConfig(**off, fault_plan=plan), verify=True)
+    assert set(with_flags.output) == set(without.output)
+    for key, arr in with_flags.output.items():
+        assert np.array_equal(arr, without.output[key]), key
+
+
+def test_datamove_chaos_runs_are_deterministic():
+    plan = _PLANS["mixed"]
+    a = _st_mgpu(plan)
+    b = _st_mgpu(plan)
+    assert a.makespan == b.makespan
+    assert_same_outputs(a, b)

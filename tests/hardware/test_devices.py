@@ -49,6 +49,46 @@ def test_link_serializes_transfers():
     assert link.transfer_count == 2
 
 
+def test_link_busy_time_includes_latency_term():
+    """A latency-bound stream of tiny transfers must report the link as
+    busy for the full hold time — counting only bytes/bandwidth would make
+    the link look idle while it is in fact saturated by latency."""
+    env = Environment()
+    link = Link(env, bandwidth=1e9, latency=1e-3)
+    for _ in range(10):
+        env.process(link.transfer(1000))      # 1 us of wire, 1 ms of latency
+    env.run()
+    expected = 10 * (1e-3 + 1000 / 1e9)
+    assert link.busy_seconds == pytest.approx(expected)
+    assert env.now == pytest.approx(expected)  # fully serialized: held 100%
+
+
+def test_link_degraded_hold_time_is_accounted():
+    env = Environment()
+    link = Link(env, bandwidth=1e6, latency=0.5)
+    link.degradation = 3.0
+    env.process(link.transfer(1_000_000))
+    env.run()
+    assert link.busy_seconds == pytest.approx(3.0 * (0.5 + 1.0))
+
+
+def test_link_metrics_mirror_counters():
+    from repro.metrics import CounterRegistry
+    env = Environment()
+    link = Link(env, bandwidth=1e6, latency=0.0, name="nic0.tx")
+    registry = CounterRegistry()
+    link.attach_metrics(registry)
+    env.process(link.transfer(2_000_000))
+    env.run()
+    link.count_fused(3)
+    assert registry.value("hardware.link.nic0.tx.bytes_moved") == 2_000_000
+    assert registry.value("hardware.link.nic0.tx.transfers") == 1
+    assert registry.value("hardware.link.nic0.tx.transfers_fused") == 3
+    assert registry.value("hardware.link.nic0.tx.busy_seconds") \
+        == pytest.approx(2.0)
+    assert link.transfers_fused == 3
+
+
 def test_multilane_link_allows_concurrency():
     env = Environment()
     link = Link(env, bandwidth=1e6, latency=0, lanes=2)

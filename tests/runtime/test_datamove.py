@@ -1,0 +1,472 @@
+"""The data-movement optimisation layer: flags, liveness, coalescing,
+elision, cost-aware eviction (src/repro/runtime/datamove.py).
+
+The layer's cardinal rule — all flags off means the runtime constructs no
+DataMover and the event stream is bit-identical — is pinned by the golden
+makespans (tests/bench/test_golden_makespan.py); here we pin everything the
+flags *add*.
+"""
+
+import pytest
+
+from repro.cuda import KernelSpec
+from repro.hardware import build_gpu_cluster, build_multi_gpu_node
+from repro.metrics import CounterRegistry
+from repro.runtime import Access, Direction, Runtime, RuntimeConfig, Task
+from repro.runtime.datamove import DataMover, LivenessTracker, \
+    TransferCoalescer
+from repro.sim import Environment
+
+
+def quick_kernel(name="k", cost=1e-6):
+    return KernelSpec(name=name, cost=lambda spec: cost, func=None)
+
+
+def make_rt(machine="gpu1", **cfg):
+    env = Environment()
+    if machine == "gpu1":
+        m = build_multi_gpu_node(env, num_gpus=1)
+    elif machine == "gpu2":
+        m = build_multi_gpu_node(env, num_gpus=2)
+    else:
+        m = build_gpu_cluster(env, num_nodes=int(machine[7:]))
+    return Runtime(m, RuntimeConfig(functional=False, kernel_jitter=0,
+                                    task_overhead=0, **cfg))
+
+
+def run_tasks(rt, tasks):
+    def main():
+        for t in tasks:
+            rt.submit(t)
+        yield from rt.taskwait(noflush=True)
+
+    rt.run_main(main())
+
+
+def gpu_task(rt, name, *accesses, cost=1e-6):
+    return Task(name=name, device="cuda", kernel=quick_kernel(name, cost),
+                accesses=tuple(accesses))
+
+
+# ---------------------------------------------------------------------------
+# Configuration flags
+# ---------------------------------------------------------------------------
+
+def test_all_flags_default_off():
+    cfg = RuntimeConfig()
+    assert not cfg.wb_elision
+    assert not cfg.coalescing
+    assert cfg.presend_depth == 0
+    assert not cfg.cost_aware_eviction
+    assert not cfg.datamove_enabled
+
+
+@pytest.mark.parametrize("flag", [
+    dict(wb_elision=True), dict(coalescing=True),
+    dict(presend_depth=2), dict(cost_aware_eviction=True),
+])
+def test_any_flag_enables_datamove(flag):
+    assert RuntimeConfig(**flag).datamove_enabled
+
+
+def test_describe_mentions_active_mechanisms():
+    label = RuntimeConfig(wb_elision=True, coalescing=True,
+                          presend_depth=3,
+                          cost_aware_eviction=True).describe()
+    for token in ("elide", "coal", "pd3", "cae"):
+        assert token in label
+    for token in ("elide", "coal", "pd", "cae"):
+        assert token not in RuntimeConfig().describe()
+
+
+def test_flag_validation():
+    with pytest.raises(ValueError):
+        RuntimeConfig(presend_depth=-1)
+    with pytest.raises(ValueError):
+        RuntimeConfig(coalesce_window=0.0)
+    with pytest.raises(ValueError):
+        RuntimeConfig(coalesce_window=-1e-6)
+
+
+def test_runtime_builds_no_datamover_by_default():
+    rt = make_rt("gpu1")
+    assert rt.datamove is None
+    assert rt.coherence.datamove is None
+
+
+def test_runtime_wires_datamover_and_cost_fn():
+    rt = make_rt("gpu1", wb_elision=True, cost_aware_eviction=True)
+    assert isinstance(rt.datamove, DataMover)
+    assert rt.datamove.liveness is not None
+    assert rt.datamove.coalescer is None          # coalescing off
+    for cache in rt.all_caches():
+        assert cache.victim_cost_fn is not None
+
+
+# ---------------------------------------------------------------------------
+# Version-aware liveness
+# ---------------------------------------------------------------------------
+
+def _region(rt, name="x", nbytes=4096):
+    return rt.register_array(name, nbytes // 4).whole
+
+
+def _task(name, *accesses, copy_deps=True, copies=()):
+    return Task(name=name, device="cuda", kernel=quick_kernel(name),
+                accesses=tuple(accesses), copy_deps=copy_deps,
+                copies=tuple(copies))
+
+
+def test_version_dead_only_after_its_readers_finish():
+    rt = make_rt("gpu1")
+    r = _region(rt)
+    lt = LivenessTracker()
+    init = _task("init", Access(r, Direction.OUT))
+    reader = _task("reader", Access(r, Direction.IN))
+    over = _task("over", Access(r, Direction.OUT))
+    for t in (init, reader, over):
+        lt.task_submitted(t)
+    lt.task_committed(init)
+    # The committed version still feeds `reader`.
+    assert not lt.version_is_dead(r)
+    lt.task_finished(reader)
+    # Now only the pure overwriter remains: the version is unobservable.
+    assert lt.version_is_dead(r)
+    lt.task_committed(over)
+    assert not lt.version_is_dead(r)
+
+
+def test_future_readers_do_not_pin_old_versions():
+    """A reader submitted *after* the next overwriter consumes a future
+    version — it must not keep the current one alive.  This is the
+    pre-submitted-iterations case (STREAM queues every time-step up
+    front); region-level reader counts would never elide anything."""
+    rt = make_rt("gpu1")
+    r = _region(rt)
+    lt = LivenessTracker()
+    init = _task("init", Access(r, Direction.OUT))
+    over = _task("over", Access(r, Direction.OUT))
+    future_reader = _task("fr", Access(r, Direction.IN))
+    for t in (init, over, future_reader):
+        lt.task_submitted(t)
+    lt.task_committed(init)
+    assert lt.version_is_dead(r)
+
+
+def test_own_commit_does_not_kill_own_version():
+    """A task's pure-output access must stop counting as a pending
+    overwriter once its own commit publishes, or every freshly produced
+    version would be judged dead by its producer's own entry."""
+    rt = make_rt("gpu1")
+    r = _region(rt)
+    lt = LivenessTracker()
+    init = _task("init", Access(r, Direction.OUT))
+    lt.task_submitted(init)
+    lt.task_committed(init)
+    assert not lt.version_is_dead(r)
+
+
+def test_inout_overwriter_keeps_version_alive():
+    rt = make_rt("gpu1")
+    r = _region(rt)
+    lt = LivenessTracker()
+    init = _task("init", Access(r, Direction.OUT))
+    accum = _task("accum", Access(r, Direction.INOUT))
+    lt.task_submitted(init)
+    lt.task_submitted(accum)
+    lt.task_committed(init)
+    # The next writer reads the version it overwrites: not dead.
+    assert not lt.version_is_dead(r)
+
+
+def test_dependence_only_writer_cannot_cover_a_discard():
+    """A writer without copy semantics never reaches commit_outputs, so it
+    publishes no replacement version — eliding against it would lose the
+    only path back to coherent data."""
+    rt = make_rt("gpu1")
+    r = _region(rt)
+    lt = LivenessTracker()
+    init = _task("init", Access(r, Direction.OUT))
+    dep_only = _task("dep", Access(r, Direction.OUT), copy_deps=False)
+    lt.task_submitted(init)
+    lt.task_submitted(dep_only)
+    lt.task_committed(init)
+    assert not lt.version_is_dead(r)
+
+
+def test_commit_then_finish_is_idempotent():
+    rt = make_rt("gpu1")
+    r = _region(rt)
+    lt = LivenessTracker()
+    init = _task("init", Access(r, Direction.OUT))
+    over = _task("over", Access(r, Direction.OUT))
+    lt.task_submitted(init)
+    lt.task_submitted(over)
+    lt.task_committed(init)
+    lt.task_finished(init)          # the normal lifecycle calls both
+    assert lt.version_is_dead(r)    # over's entry survives the double call
+
+
+# ---------------------------------------------------------------------------
+# Write-back elision end to end
+# ---------------------------------------------------------------------------
+
+def test_wt_elides_dead_write_through():
+    rt = make_rt("gpu1", cache_policy="wt", wb_elision=True)
+    r = _region(rt)
+    t1 = gpu_task(rt, "t1", Access(r, Direction.OUT))
+    t2 = gpu_task(rt, "t2", Access(r, Direction.OUT))
+    run_tasks(rt, [t1, t2])
+    m = rt.metrics
+    assert m.value("datamove.writebacks_elided") == 1
+    assert m.value("datamove.bytes_elided") == r.nbytes
+    # The *final* version still propagated (write-through semantics for
+    # the last writer, whose version nobody overwrites).
+    assert rt.master_host in rt.directory.holders(r)
+
+
+def test_elision_respects_live_readers():
+    rt = make_rt("gpu1", cache_policy="wt", wb_elision=True)
+    r = _region(rt)
+    tasks = [
+        gpu_task(rt, "t1", Access(r, Direction.OUT)),
+        gpu_task(rt, "t2", Access(r, Direction.IN)),
+        gpu_task(rt, "t3", Access(r, Direction.OUT)),
+    ]
+    run_tasks(rt, tasks)
+    # t1's version feeds t2 — only possibly-later elisions may happen, and
+    # t3's version has no overwriter at all.
+    assert rt.metrics.value("datamove.writebacks_elided") == 0
+
+
+def test_nocache_discard_is_recorded_in_directory():
+    rt = make_rt("gpu1", cache_policy="nocache", wb_elision=True)
+    r = _region(rt)
+    t1 = gpu_task(rt, "t1", Access(r, Direction.OUT))
+    t2 = gpu_task(rt, "t2", Access(r, Direction.OUT))
+
+    seen = []
+
+    def main():
+        rt.submit(t1)
+        rt.submit(t2)
+        yield from rt.taskwait(noflush=True)
+        seen.append(rt.directory.peek(r))
+
+    rt.run_main(main())
+    assert rt.metrics.value("datamove.writebacks_elided") == 1
+    ent = seen[0]
+    # t2's own commit wrote the region back (no overwriter behind it),
+    # which clears the discard mark and republishes a host copy.
+    assert ent is not None and not ent.discarded
+    assert rt.master_host in rt.directory.holders(r)
+
+
+def test_flags_off_runs_have_no_datamove_counters():
+    rt = make_rt("gpu1", cache_policy="wt")
+    r = _region(rt)
+    run_tasks(rt, [gpu_task(rt, "t1", Access(r, Direction.OUT)),
+                   gpu_task(rt, "t2", Access(r, Direction.OUT))])
+    assert rt.metrics.value("datamove.writebacks_elided", 0) == 0
+
+
+# ---------------------------------------------------------------------------
+# Transfer coalescer
+# ---------------------------------------------------------------------------
+
+class _FakeRT:
+    def __init__(self):
+        self.env = Environment()
+        self.metrics = CounterRegistry()
+
+
+def test_coalescer_idle_channel_sends_solo_immediately():
+    rt = _FakeRT()
+    co = TransferCoalescer(rt, window=1e-3)
+    calls = []
+
+    def issue(entries):
+        calls.append((rt.env.now, list(entries)))
+        yield rt.env.timeout(1.0)
+
+    rt.env.process(co.submit(("ch",), "a", issue))
+    rt.env.run()
+    assert calls == [(0.0, ["a"])]
+    assert rt.metrics.value("datamove.solo_transfers") == 1
+    assert rt.metrics.value("datamove.fused_transfers", 0) == 0
+
+
+def test_coalescer_fuses_under_congestion():
+    rt = _FakeRT()
+    co = TransferCoalescer(rt, window=0.5)
+    calls = []
+
+    def issue(entries):
+        calls.append((rt.env.now, list(entries)))
+        yield rt.env.timeout(2.0)
+
+    def late(entry, delay):
+        yield rt.env.timeout(delay)
+        yield from co.submit(("ch",), entry, issue)
+
+    rt.env.process(co.submit(("ch",), "a", issue))
+    rt.env.process(late("b", 1.0))
+    rt.env.process(late("c", 1.2))
+    rt.env.run()
+    # "a" went solo at t=0; "b" found the channel busy, opened a window at
+    # t=1.0, "c" joined it, and the batch flushed at t=1.5.
+    assert calls == [(0.0, ["a"]), (1.5, ["b", "c"])]
+    assert rt.metrics.value("datamove.solo_transfers") == 1
+    assert rt.metrics.value("datamove.fused_transfers") == 2
+    assert rt.metrics.value("datamove.fused_batches") == 1
+
+
+def test_coalescer_failure_fans_out_to_batch_members():
+    rt = _FakeRT()
+    co = TransferCoalescer(rt, window=0.5)
+
+    class Boom(RuntimeError):
+        pass
+
+    def issue(entries):
+        yield rt.env.timeout(2.0)
+        if len(entries) > 1:
+            raise Boom
+
+    failures = []
+
+    def late(entry, delay):
+        yield rt.env.timeout(delay)
+        try:
+            yield from co.submit(("ch",), entry, issue)
+        except Boom:
+            failures.append(entry)
+
+    rt.env.process(co.submit(("ch",), "a", issue))
+    rt.env.process(late("b", 1.0))
+    rt.env.process(late("c", 1.2))
+    rt.env.run()
+    assert failures == ["b", "c"]
+
+
+def test_cluster_run_with_coalescing_fuses_messages():
+    """End to end on a congested master NIC (MtoS routing): fused AMs
+    appear in both the datamove and the gasnet counters."""
+    from repro.apps import matmul
+    from repro.bench.harness import fresh_cluster
+    size = matmul.MatmulSize(n=256, bs=64)
+    cfg = RuntimeConfig(functional=False, cache_policy="wb",
+                        scheduler="affinity", slave_to_slave=False,
+                        coalescing=True)
+    res = matmul.run_ompss(fresh_cluster(4), size, config=cfg, init="seq")
+    m = res.metrics
+    assert m.get("datamove.fused_transfers", 0) > 0
+    assert m.get("am.fused_messages", 0) > 0
+
+
+# ---------------------------------------------------------------------------
+# Presend pipelining (prestage lookahead)
+# ---------------------------------------------------------------------------
+
+def test_prestage_only_previews_local_queues():
+    """The base (global-queue) scheduler must report no lookahead: its
+    tasks may go to any worker, so previewing would prestage the same
+    inputs to every node (measured to congest the master NIC)."""
+    from repro.runtime.scheduler.base import Scheduler
+    sched = Scheduler(notify=lambda *a: None)
+
+    class W:
+        kind = "node"
+        node_index = 0
+        space = None
+
+        def accepts(self, task):
+            return True
+
+    w = W()
+    sched.register_worker(w)
+    r_kernel = quick_kernel()
+    sched.submit(Task(name="t", device="cuda", kernel=r_kernel,
+                      accesses=()))
+    assert sched.peek_for(w, 4) == []
+
+
+def test_prestage_moves_inputs_ahead_of_dispatch():
+    from repro.apps import matmul
+    from repro.bench.harness import fresh_cluster
+    size = matmul.MatmulSize(n=256, bs=64)
+    base = dict(functional=False, cache_policy="wb", scheduler="affinity",
+                slave_to_slave=False, presend=0)
+    plain = matmul.run_ompss(fresh_cluster(4), size,
+                             config=RuntimeConfig(**base), init="seq")
+    deep = matmul.run_ompss(fresh_cluster(4), size,
+                            config=RuntimeConfig(**base, presend_depth=4),
+                            init="seq")
+    prestages = sum(v for k, v in deep.metrics.items()
+                    if k.endswith(".prestages"))
+    assert prestages > 0
+    assert sum(v for k, v in plain.metrics.items()
+               if k.endswith(".prestages")) == 0
+    # Overlapping the staging with remote compute must not slow us down.
+    assert deep.makespan <= plain.makespan
+
+
+# ---------------------------------------------------------------------------
+# Cost-aware eviction
+# ---------------------------------------------------------------------------
+
+def test_cost_fn_orders_dirty_above_clean_and_dead_at_zero():
+    rt = make_rt("gpu1", wb_elision=True, cost_aware_eviction=True)
+    r_clean = _region(rt, "clean")
+    r_dirty = _region(rt, "dirty")
+    r_dead = _region(rt, "dead")
+    cache = rt.cache_of(rt.gpu_space(0, 0))
+    for r in (r_clean, r_dirty, r_dead):
+        cache.insert(r)
+    cache.mark_dirty(r_dirty)
+    cache.mark_dirty(r_dead)
+    lt = rt.datamove.liveness
+    # Make r_dead's version dead: a live pure overwriter, no readers.
+    over = _task("over", Access(r_dead, Direction.OUT))
+    lt.task_submitted(over)
+    cost = cache.victim_cost_fn
+    assert cost(cache.get(r_dead)) == 0.0
+    assert cost(cache.get(r_dirty)) > cost(cache.get(r_clean)) > 0.0
+
+
+def test_determinism_with_all_flags_on():
+    """Same config, same machine, two runs: identical simulated time and
+    identical datamove activity (the layer adds no nondeterminism)."""
+    from repro.apps import stream
+    from repro.bench.harness import fresh_multi_gpu
+    size = stream.StreamSize(n=4096, bsize=256, ntimes=3)
+    cfg = RuntimeConfig(functional=False, cache_policy="wb",
+                        scheduler="affinity", wb_elision=True,
+                        coalescing=True, cost_aware_eviction=True)
+
+    def once():
+        res = stream.run_ompss(fresh_multi_gpu(2), size, config=cfg)
+        return (res.makespan,
+                res.metrics.get("datamove.writebacks_elided", 0),
+                res.metrics.get("datamove.fused_transfers", 0))
+
+    assert once() == once()
+
+
+def test_functional_outputs_identical_with_flags_on():
+    """Elision/coalescing change *when* bytes move, never *which* bytes:
+    functional results must match the flags-off run exactly."""
+    import numpy as np
+    from repro.apps import stream
+    from repro.bench.harness import fresh_multi_gpu
+    size = stream.StreamSize(n=1024, bsize=128, ntimes=2)
+    base = dict(functional=True, cache_policy="wb", scheduler="affinity")
+    off = stream.run_ompss(fresh_multi_gpu(2), size,
+                           config=RuntimeConfig(**base), verify=True)
+    on = stream.run_ompss(
+        fresh_multi_gpu(2), size,
+        config=RuntimeConfig(**base, wb_elision=True, coalescing=True,
+                             cost_aware_eviction=True), verify=True)
+    assert set(off.output) == set(on.output)
+    for key in off.output:
+        assert np.array_equal(off.output[key], on.output[key]), key
