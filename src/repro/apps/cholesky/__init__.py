@@ -1,0 +1,33 @@
+"""Tiled Cholesky factorization in Serial / OmpSs versions.
+
+The triangular fan-in task graph that separates the scheduling policies
+(docs/SCHEDULERS.md) — first installment of the extra-apps roadmap item.
+"""
+
+from .common import (
+    CholeskySize,
+    PAPER_CHOLESKY,
+    TEST_CHOLESKY,
+    build_spd_dense,
+    dense_to_tiled,
+    gflops,
+    serial_cholesky_tiled,
+    tile_start,
+    tiled_to_dense,
+)
+from .ompss import run_ompss
+from .serial import run_serial
+
+__all__ = [
+    "CholeskySize",
+    "PAPER_CHOLESKY",
+    "TEST_CHOLESKY",
+    "build_spd_dense",
+    "dense_to_tiled",
+    "tiled_to_dense",
+    "serial_cholesky_tiled",
+    "tile_start",
+    "gflops",
+    "run_serial",
+    "run_ompss",
+]

@@ -1,0 +1,125 @@
+"""Shared pieces of the tiled Cholesky factorization application.
+
+Cholesky is the classic task-graph benchmark the paper's regular apps
+(matmul, stream) never approximate: the right-looking blocked algorithm
+produces a triangular fan-in DAG whose critical path (the potrf chain down
+the diagonal) is a vanishing fraction of the total work, so *what order
+the ready tasks run in* dominates the makespan.  This app exists to
+separate the scheduling policies (docs/SCHEDULERS.md); it is the first
+installment of the "more apps" roadmap item.
+
+Storage matches the other apps: tile-major flat float32, tile (i, j) at
+``(i * nt + j) * bs * bs``.  Only the lower triangle (j <= i) is ever
+read or written.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CholeskySize", "tile_start", "build_spd_dense",
+           "dense_to_tiled", "tiled_to_dense", "serial_cholesky_tiled",
+           "gflops", "PAPER_CHOLESKY", "TEST_CHOLESKY"]
+
+
+@dataclass(frozen=True)
+class CholeskySize:
+    """Problem size: n x n SPD matrix in bs x bs tiles."""
+
+    n: int
+    bs: int
+
+    def __post_init__(self):
+        if self.n % self.bs != 0:
+            raise ValueError(f"matrix size {self.n} not a multiple of tile "
+                             f"size {self.bs}")
+
+    @property
+    def nt(self) -> int:
+        return self.n // self.bs
+
+    @property
+    def elements(self) -> int:
+        return self.n * self.n
+
+    @property
+    def tile_elements(self) -> int:
+        return self.bs * self.bs
+
+    @property
+    def flops(self) -> float:
+        return self.n ** 3 / 3.0
+
+
+#: Benchmark size matching the paper-era tile choice (16x16 tiles).
+PAPER_CHOLESKY = CholeskySize(n=16384, bs=1024)
+#: Small functional-mode size for correctness tests (8x8 tiles).
+TEST_CHOLESKY = CholeskySize(n=128, bs=16)
+
+
+def tile_start(size: CholeskySize, i: int, j: int) -> int:
+    """Flat offset of tile (i, j) in the tile-major layout."""
+    return (i * size.nt + j) * size.tile_elements
+
+
+def build_spd_dense(size: CholeskySize) -> np.ndarray:
+    """A deterministic, well-conditioned SPD matrix: M M^T scaled down
+    plus a diagonal shift (every version factorizes the same input)."""
+    n = size.n
+    idx = np.arange(n, dtype=np.float32)
+    m = (np.add.outer(idx * 31.0, idx * 17.0) % 61.0) / np.float32(61.0)
+    d = (m @ m.T) / np.float32(n)
+    d[np.diag_indices(n)] += np.float32(2.0)
+    return d.astype(np.float32)
+
+
+def dense_to_tiled(size: CholeskySize, dense: np.ndarray) -> np.ndarray:
+    flat = np.zeros(size.elements, dtype=np.float32)
+    bs, te = size.bs, size.tile_elements
+    for i in range(size.nt):
+        for j in range(size.nt):
+            s = tile_start(size, i, j)
+            flat[s:s + te] = dense[i * bs:(i + 1) * bs,
+                                   j * bs:(j + 1) * bs].ravel()
+    return flat
+
+
+def tiled_to_dense(size: CholeskySize, flat: np.ndarray) -> np.ndarray:
+    dense = np.empty((size.n, size.n), dtype=np.float32)
+    bs, te = size.bs, size.tile_elements
+    for i in range(size.nt):
+        for j in range(size.nt):
+            s = tile_start(size, i, j)
+            dense[i * bs:(i + 1) * bs,
+                  j * bs:(j + 1) * bs] = flat[s:s + te].reshape(bs, bs)
+    return dense
+
+
+def serial_cholesky_tiled(size: CholeskySize, a: np.ndarray) -> None:
+    """Reference right-looking blocked factorization on tile-major flat
+    storage — the *same* tile operations in the same program order as the
+    OmpSs version, so functional outputs match bit for bit (per-tile
+    update chains are totally ordered by the inout dependences)."""
+    bs, nt, te = size.bs, size.nt, size.tile_elements
+
+    def tile(i, j):
+        s = tile_start(size, i, j)
+        return a[s:s + te].reshape(bs, bs)
+
+    for k in range(nt):
+        akk = tile(k, k)
+        akk[:] = np.linalg.cholesky(akk)
+        for i in range(k + 1, nt):
+            aik = tile(i, k)
+            aik[:] = np.linalg.solve(akk, aik.T).T
+        for i in range(k + 1, nt):
+            aik = tile(i, k)
+            for j in range(k + 1, i):
+                tile(i, j)[:] = tile(i, j) - aik @ tile(j, k).T
+            tile(i, i)[:] = tile(i, i) - aik @ aik.T
+
+
+def gflops(size: CholeskySize, seconds: float) -> float:
+    return size.flops / seconds / 1e9

@@ -1,0 +1,23 @@
+"""Serial tiled Cholesky (the annotation starting point)."""
+
+from __future__ import annotations
+
+from .common import (
+    CholeskySize,
+    build_spd_dense,
+    dense_to_tiled,
+    serial_cholesky_tiled,
+)
+from ..base import AppResult
+
+__all__ = ["run_serial"]
+
+
+def run_serial(size: CholeskySize) -> AppResult:
+    a = dense_to_tiled(size, build_spd_dense(size))
+    serial_cholesky_tiled(size, a)
+    return AppResult(
+        name="cholesky", version="serial", makespan=0.0, metric=0.0,
+        metric_unit="GFLOP/s",
+        output={"a": a},
+    )

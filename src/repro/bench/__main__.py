@@ -14,12 +14,14 @@ import argparse
 import sys
 import time
 
+from ..runtime.config import SCHEDULERS
 from . import figures
 from .loc import table1_rows
 from .report import render_table
 
 FIGURES = {f"fig{i}": getattr(figures, f"fig{i}") for i in range(5, 14)}
 FIGURES["fig-dm"] = figures.fig_datamove
+FIGURES["fig-sched"] = figures.fig_sched
 
 
 def print_table1() -> None:
@@ -52,6 +54,11 @@ def main(argv=None) -> int:
         help="run each figure's points on N worker processes "
              "(default: serial in-process)",
     )
+    parser.add_argument(
+        "--scheduler", choices=SCHEDULERS, default=None, metavar="NAME",
+        help="override the scheduling policy on every OmpSs point "
+             f"(one of: {', '.join(SCHEDULERS)}; see docs/SCHEDULERS.md)",
+    )
     args = parser.parse_args(argv)
     if args.parallel < 0:
         parser.error("--parallel must be >= 0")
@@ -69,7 +76,7 @@ def main(argv=None) -> int:
         if fn is None:
             parser.error(f"unknown target {name!r}")
         start = time.time()
-        result = fn(parallel=args.parallel)
+        result = fn(parallel=args.parallel, scheduler=args.scheduler)
         print(result.render())
         print(f"[regenerated in {time.time() - start:.1f}s wall]\n")
     return 0

@@ -13,14 +13,17 @@ with bit-identical results (see :mod:`repro.bench.sweep`).
 
 from __future__ import annotations
 
-from ..apps import matmul, nbody, perlin, stream
+import dataclasses
+
+from ..apps import cholesky, matmul, nbody, perlin, stream
 from ..runtime.config import RuntimeConfig
 from .harness import CLUSTER_BEST, FigureResult
 from .sweep import PointSpec, run_points
 
 __all__ = ["fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-           "fig12", "fig13", "fig_datamove", "MULTI_GPU_COUNTS",
-           "CLUSTER_NODE_COUNTS", "DATAMOVE_FLAGS", "DATAMOVE_POINTS"]
+           "fig12", "fig13", "fig_datamove", "fig_sched",
+           "MULTI_GPU_COUNTS", "CLUSTER_NODE_COUNTS", "DATAMOVE_FLAGS",
+           "DATAMOVE_POINTS", "SCHED_POLICIES", "SCHED_POINTS"]
 
 MULTI_GPU_COUNTS = (1, 2, 4)
 CLUSTER_NODE_COUNTS = (1, 2, 4, 8)
@@ -39,14 +42,23 @@ NBODY_STRESS = nbody.NBodySize(n=20_000_000, blocks=16, iters=10)
 
 
 def _assemble(result: FigureResult,
-              points: "list[PointSpec]", parallel: int) -> FigureResult:
+              points: "list[PointSpec]", parallel: int,
+              scheduler: "str | None" = None) -> FigureResult:
     """Run a figure's points (serial or fanned out) and fill its series.
 
     Points arrive grouped by series, each series in x order, so appending
     metrics in spec order rebuilds exactly the lists the serial loops
     produced.  Points flagged ``want_metrics`` (the largest x of selected
     series) attach their counter snapshot, as before.
+
+    ``scheduler`` (the ``--scheduler`` CLI flag) overrides the policy on
+    every OmpSs point of the figure, leaving the rest of each point's
+    configuration untouched.
     """
+    if scheduler is not None:
+        result.notes.append(f"scheduler override: {scheduler}")
+        points = [dataclasses.replace(spec, scheduler=scheduler)
+                  for spec in points]
     values = run_points(points, parallel=parallel)
     for spec, val in zip(points, values):
         result.series.setdefault(spec.series, []).append(val["metric"])
@@ -87,13 +99,15 @@ def fig5_points() -> "list[PointSpec]":
     return _multi_gpu_points("fig5", "matmul", sizes)
 
 
-def fig5(parallel: int = 0) -> FigureResult:
+def fig5(parallel: int = 0,
+         scheduler: "str | None" = None) -> FigureResult:
     """Matmul on the multi-GPU node: GFLOP/s per cache policy x scheduler."""
     result = FigureResult(figure="Figure 5",
                           title="Matrix multiply, multi-GPU node",
                           x_label="GPUs", xs=list(MULTI_GPU_COUNTS),
                           unit="GFLOP/s")
-    return _assemble(result, fig5_points(), parallel)
+    return _assemble(result, fig5_points(), parallel,
+                     scheduler=scheduler)
 
 
 def fig6_points() -> "list[PointSpec]":
@@ -101,12 +115,14 @@ def fig6_points() -> "list[PointSpec]":
     return _multi_gpu_points("fig6", "stream", sizes)
 
 
-def fig6(parallel: int = 0) -> FigureResult:
+def fig6(parallel: int = 0,
+         scheduler: "str | None" = None) -> FigureResult:
     """STREAM on the multi-GPU node: aggregate GB/s per configuration."""
     result = FigureResult(figure="Figure 6", title="STREAM, multi-GPU node",
                           x_label="GPUs", xs=list(MULTI_GPU_COUNTS),
                           unit="GB/s")
-    return _assemble(result, fig6_points(), parallel)
+    return _assemble(result, fig6_points(), parallel,
+                     scheduler=scheduler)
 
 
 def fig7_points() -> "list[PointSpec]":
@@ -124,13 +140,15 @@ def fig7_points() -> "list[PointSpec]":
     return points
 
 
-def fig7(parallel: int = 0) -> FigureResult:
+def fig7(parallel: int = 0,
+         scheduler: "str | None" = None) -> FigureResult:
     """Perlin noise on the multi-GPU node: Mpixels/s, Flush vs NoFlush."""
     result = FigureResult(figure="Figure 7",
                           title="Perlin noise, multi-GPU node",
                           x_label="GPUs", xs=list(MULTI_GPU_COUNTS),
                           unit="Mpixels/s")
-    return _assemble(result, fig7_points(), parallel)
+    return _assemble(result, fig7_points(), parallel,
+                     scheduler=scheduler)
 
 
 def fig8_points() -> "list[PointSpec]":
@@ -145,7 +163,8 @@ def fig8_points() -> "list[PointSpec]":
     return points
 
 
-def fig8(parallel: int = 0) -> FigureResult:
+def fig8(parallel: int = 0,
+         scheduler: "str | None" = None) -> FigureResult:
     """N-Body on the multi-GPU node: the no-cache policy wins under GPU
     memory pressure (delayed write-back + replacement cost)."""
     result = FigureResult(figure="Figure 8",
@@ -154,7 +173,8 @@ def fig8(parallel: int = 0) -> FigureResult:
     result.notes.append(
         f"body count scaled to {NBODY_STRESS.n} to reach the paper's GPU "
         "memory pressure regime (see DESIGN.md)")
-    return _assemble(result, fig8_points(), parallel)
+    return _assemble(result, fig8_points(), parallel,
+                     scheduler=scheduler)
 
 
 # ---------------------------------------------------------------------------
@@ -180,13 +200,15 @@ def fig9_points(presends=(0, 1, 4)) -> "list[PointSpec]":
     return points
 
 
-def fig9(presends=(0, 1, 4), parallel: int = 0) -> FigureResult:
+def fig9(presends=(0, 1, 4), parallel: int = 0,
+         scheduler: "str | None" = None) -> FigureResult:
     """Cluster matmul: StoS/MtoS x init mode x presend window."""
     result = FigureResult(figure="Figure 9",
                           title="Matrix multiply, GPU cluster",
                           x_label="nodes", xs=list(CLUSTER_NODE_COUNTS),
                           unit="GFLOP/s")
-    return _assemble(result, fig9_points(presends), parallel)
+    return _assemble(result, fig9_points(presends), parallel,
+                     scheduler=scheduler)
 
 
 def _best_cluster_config(presend: int = 4,
@@ -210,13 +232,15 @@ def fig10_points() -> "list[PointSpec]":
     return points
 
 
-def fig10(parallel: int = 0) -> FigureResult:
+def fig10(parallel: int = 0,
+          scheduler: "str | None" = None) -> FigureResult:
     """Cluster matmul: best OmpSs setup vs the MPI+CUDA SUMMA baseline."""
     result = FigureResult(figure="Figure 10",
                           title="Matmul: OmpSs vs MPI+CUDA",
                           x_label="nodes", xs=list(CLUSTER_NODE_COUNTS),
                           unit="GFLOP/s")
-    return _assemble(result, fig10_points(), parallel)
+    return _assemble(result, fig10_points(), parallel,
+                     scheduler=scheduler)
 
 
 def fig11_points() -> "list[PointSpec]":
@@ -233,13 +257,15 @@ def fig11_points() -> "list[PointSpec]":
     return points
 
 
-def fig11(parallel: int = 0) -> FigureResult:
+def fig11(parallel: int = 0,
+          scheduler: "str | None" = None) -> FigureResult:
     """Cluster STREAM: OmpSs vs MPI+CUDA (embarrassingly parallel)."""
     result = FigureResult(figure="Figure 11",
                           title="STREAM, GPU cluster",
                           x_label="nodes", xs=list(CLUSTER_NODE_COUNTS),
                           unit="GB/s")
-    return _assemble(result, fig11_points(), parallel)
+    return _assemble(result, fig11_points(), parallel,
+                     scheduler=scheduler)
 
 
 def fig12_points() -> "list[PointSpec]":
@@ -259,13 +285,15 @@ def fig12_points() -> "list[PointSpec]":
     return points
 
 
-def fig12(parallel: int = 0) -> FigureResult:
+def fig12(parallel: int = 0,
+          scheduler: "str | None" = None) -> FigureResult:
     """Cluster Perlin: OmpSs Flush/NoFlush vs MPI+CUDA."""
     result = FigureResult(figure="Figure 12",
                           title="Perlin noise, GPU cluster",
                           x_label="nodes", xs=list(CLUSTER_NODE_COUNTS),
                           unit="Mpixels/s")
-    return _assemble(result, fig12_points(), parallel)
+    return _assemble(result, fig12_points(), parallel,
+                     scheduler=scheduler)
 
 
 def fig13_points(n_bodies: int = 20_000) -> "list[PointSpec]":
@@ -331,7 +359,8 @@ def fig_datamove_points() -> "list[PointSpec]":
     return points
 
 
-def fig_datamove(parallel: int = 0) -> FigureResult:
+def fig_datamove(parallel: int = 0,
+                 scheduler: "str | None" = None) -> FigureResult:
     """Baseline vs the datamove layer on the communication-bound points.
 
     Series are *makespans* (lower is better), unlike the paper figures'
@@ -343,6 +372,10 @@ def fig_datamove(parallel: int = 0) -> FigureResult:
                           x_label="point", xs=list(DATAMOVE_POINTS),
                           unit="s (makespan)")
     points = fig_datamove_points()
+    if scheduler is not None:
+        result.notes.append(f"scheduler override: {scheduler}")
+        points = [dataclasses.replace(spec, scheduler=scheduler)
+                  for spec in points]
     values = run_points(points, parallel=parallel)
     for spec, val in zip(points, values):
         result.series.setdefault(spec.series, []).append(val["makespan"])
@@ -357,7 +390,95 @@ def fig_datamove(parallel: int = 0) -> FigureResult:
     return result
 
 
-def fig13(n_bodies: int = 20_000, parallel: int = 0) -> FigureResult:
+# ---------------------------------------------------------------------------
+# Scheduling policies (paper tier vs adaptive tier)
+# ---------------------------------------------------------------------------
+
+#: every policy ``make_scheduler`` knows, paper tier first.
+SCHED_POLICIES = ("bf", "default", "affinity", "ws", "cp", "adaptive")
+
+#: the points the policy ablation runs on: the Cholesky DAG on both
+#: machine shapes (where ordering dominates), plus a regular figure
+#: workload (matmul) as the control where locality dominates.
+SCHED_POINTS = ("cholesky-mgpu", "cholesky-cluster", "matmul-mgpu")
+
+
+def _sched_base(point: str) -> dict:
+    if point == "cholesky-mgpu":
+        # Runs under write-through — the paper's conservative cache mode —
+        # so the ablation also measures whether a policy can recover the
+        # write-back performance without being told (the adaptive tier's
+        # datamove loop switches the write mode from live signals; the
+        # static policies execute the configuration as given).
+        return dict(app="cholesky", machine="multi_gpu", count=4,
+                    size=cholesky.PAPER_CHOLESKY, run_kwargs={},
+                    cfg=dict(functional=False, overlap=True, prefetch=True,
+                             cache_policy="wt"))
+    if point == "cholesky-cluster":
+        cfg = {k: v for k, v in CLUSTER_BEST.items() if k != "scheduler"}
+        # 8 nodes: width-limited, so placement (not raw FIFO spreading)
+        # decides the makespan — the regime the policy tier targets.
+        return dict(app="cholesky", machine="cluster", count=8,
+                    size=cholesky.PAPER_CHOLESKY, run_kwargs={},
+                    cfg=dict(cfg, presend=2))
+    return dict(app="matmul", machine="multi_gpu", count=4,
+                size=matmul.PAPER_MATMUL, run_kwargs={},
+                cfg=dict(functional=False, overlap=True, prefetch=True))
+
+
+def fig_sched_points() -> "list[PointSpec]":
+    points = []
+    for policy in SCHED_POLICIES:
+        for point in SCHED_POINTS:
+            base = _sched_base(point)
+            cfg = dict(base["cfg"], scheduler=policy)
+            if policy == "adaptive":
+                # The adaptive tier is the meta-scheduler with its whole
+                # signal loop: policy switching *and* datamove switching.
+                cfg["adaptive_datamove"] = True
+            points.append(PointSpec(
+                figure="fig-sched", series=policy, x=point,
+                app=base["app"], machine=base["machine"],
+                count=base["count"], size=base["size"],
+                config=RuntimeConfig(**cfg),
+                run_kwargs=base["run_kwargs"],
+                want_metrics=(point == "cholesky-mgpu")))
+    return points
+
+
+def fig_sched(parallel: int = 0,
+              scheduler: "str | None" = None) -> FigureResult:
+    """Scheduling-policy ablation: paper tier vs the adaptive tier.
+
+    Series are makespans (lower is better) per policy.  ``scheduler`` is
+    accepted for CLI uniformity but ignored — this figure *is* the
+    scheduler sweep.
+    """
+    result = FigureResult(figure="Figure SCHED",
+                          title="Scheduling policies, task-graph points",
+                          x_label="point", xs=list(SCHED_POINTS),
+                          unit="s (makespan)")
+    points = fig_sched_points()
+    values = run_points(points, parallel=parallel)
+    for spec, val in zip(points, values):
+        result.series.setdefault(spec.series, []).append(val["makespan"])
+        if spec.want_metrics and val["metrics"]:
+            result.attach_metrics(f"{spec.series}/{spec.x}",
+                                  val["metrics"])
+    paper = SCHED_POLICIES[:3]
+    for i, point in enumerate(SCHED_POINTS):
+        best_paper = min(paper, key=lambda p: result.series[p][i])
+        best_new = min(SCHED_POLICIES[3:],
+                       key=lambda p: result.series[p][i])
+        b, n = result.series[best_paper][i], result.series[best_new][i]
+        result.notes.append(
+            f"{point}: best paper {best_paper} {b:.3f}s, best new "
+            f"{best_new} {n:.3f}s ({(b - n) / b:+.1%} makespan reduction)")
+    return result
+
+
+def fig13(n_bodies: int = 20_000, parallel: int = 0,
+          scheduler: "str | None" = None) -> FigureResult:
     """Cluster N-Body: OmpSs vs MPI+CUDA under all-to-all exchange.
 
     The paper's own 20000-body system: per-node compute shrinks
@@ -369,4 +490,5 @@ def fig13(n_bodies: int = 20_000, parallel: int = 0) -> FigureResult:
                           title="N-Body, GPU cluster",
                           x_label="nodes", xs=list(CLUSTER_NODE_COUNTS),
                           unit="GFLOP/s")
-    return _assemble(result, fig13_points(n_bodies), parallel)
+    return _assemble(result, fig13_points(n_bodies), parallel,
+                     scheduler=scheduler)

@@ -22,11 +22,12 @@ def summarize_run(snapshot: dict) -> dict:
     def total(prefix: str, suffix: str) -> float:
         return sum(v for k, v in snapshot.items()
                    if k.startswith(prefix) and k.endswith(suffix)
-                   and not isinstance(v, dict))
+                   and isinstance(v, (int, float)))
 
     hits = total("cache.", ".hits")
     misses = total("cache.", ".misses")
     return {
+        "sched": snapshot.get("scheduler.policy", "-"),
         "tasks": snapshot.get("runtime.tasks_finished", 0),
         "hits": hits,
         "misses": misses,

@@ -67,6 +67,10 @@ class PointSpec:
     config: Optional[RuntimeConfig] = None   #: OmpSs runtime configuration
     run_kwargs: dict = field(default_factory=dict)  #: init=, flush=, ...
     want_metrics: bool = False        #: return the full counter snapshot
+    #: scheduling-policy override (``--scheduler`` CLI flag): replaces the
+    #: config's scheduler for OmpSs runs, leaving the rest of the point's
+    #: configuration untouched.  ``None`` means "as configured".
+    scheduler: Optional[str] = None
 
     @property
     def label(self) -> str:
@@ -90,9 +94,9 @@ class SweepPointError(RuntimeError):
 def _runner(app: str, version: str):
     # Imports live here (not module level) so a point process pays the
     # app-package import only for the app it actually runs.
-    from ..apps import matmul, nbody, perlin, stream
+    from ..apps import cholesky, matmul, nbody, perlin, stream
     mod = {"matmul": matmul, "stream": stream,
-           "perlin": perlin, "nbody": nbody}[app]
+           "perlin": perlin, "nbody": nbody, "cholesky": cholesky}[app]
     return getattr(mod, f"run_{version}")
 
 
@@ -107,7 +111,11 @@ def run_point(spec: PointSpec) -> dict:
                else fresh_cluster(spec.count))
     kwargs = dict(spec.run_kwargs)
     if spec.version == "ompss":
-        kwargs["config"] = spec.config
+        config = spec.config
+        if spec.scheduler is not None:
+            config = (config or RuntimeConfig()).with_(
+                scheduler=spec.scheduler)
+        kwargs["config"] = config
     else:
         kwargs["functional"] = False
     res = _runner(spec.app, spec.version)(machine, spec.size, **kwargs)

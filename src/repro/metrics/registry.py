@@ -147,6 +147,10 @@ class CounterRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        #: string-valued "info" instruments (e.g. the scheduler policy
+        #: currently active under the adaptive meta-scheduler): last write
+        #: wins, exported verbatim in snapshots.
+        self._infos: dict[str, str] = {}
 
     # -- instrument access (creates on first use) -------------------------
     def counter(self, name: str) -> Counter:
@@ -172,9 +176,19 @@ class CounterRegistry:
 
     def _check_fresh(self, name: str) -> None:
         if (name in self._counters or name in self._gauges
-                or name in self._histograms):
+                or name in self._histograms or name in self._infos):
             raise ValueError(
                 f"metric {name!r} already exists with a different kind")
+
+    # -- info instruments ---------------------------------------------------
+    def set_info(self, name: str, value: str) -> None:
+        """Record a string-valued fact (last write wins)."""
+        if name not in self._infos:
+            self._check_fresh(name)
+        self._infos[name] = str(value)
+
+    def info(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self._infos.get(name, default)
 
     # -- recording shortcuts ----------------------------------------------
     def inc(self, name: str, amount: "int | float" = 1) -> None:
@@ -210,7 +224,8 @@ class CounterRegistry:
         return default
 
     def names(self) -> list[str]:
-        return sorted([*self._counters, *self._gauges, *self._histograms])
+        return sorted([*self._counters, *self._gauges, *self._histograms,
+                       *self._infos])
 
     def with_prefix(self, prefix: str) -> "dict[str, int | float | dict]":
         """Snapshot restricted to names starting with ``prefix``."""
@@ -219,7 +234,7 @@ class CounterRegistry:
 
     def __len__(self) -> int:
         return (len(self._counters) + len(self._gauges)
-                + len(self._histograms))
+                + len(self._histograms) + len(self._infos))
 
     def __bool__(self) -> bool:
         # An empty registry is still a registry — never let `metrics or
@@ -243,6 +258,8 @@ class CounterRegistry:
             snap[f"{name}.high_water"] = g.high_water
         for name in sorted(self._histograms):
             snap[name] = self._histograms[name].summary()
+        for name in sorted(self._infos):
+            snap[name] = self._infos[name]
         return snap
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -253,3 +270,4 @@ class CounterRegistry:
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+        self._infos.clear()

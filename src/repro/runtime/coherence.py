@@ -188,6 +188,10 @@ class CoherenceEngine:
             return
         policy = self.config.cache_policy
         dm = self.datamove
+        if dm is not None and dm.write_mode is not None:
+            # The adaptive layer switched write modes mid-run (see
+            # DataMover.set_write_mode); later commits honor the override.
+            policy = dm.write_mode
         if policy is CachePolicy.WRITE_THROUGH:
             # Propagate every write to host memory immediately — unless the
             # version is already dead (a live task will overwrite it and
@@ -362,12 +366,14 @@ class CoherenceEngine:
         holders = self.directory.holders(region)
         if not holders:
             raise RegionLostError(f"no holder for {region!r}")
-        if self.rt.faults is not None:
-            # Deterministic tie-breaks: frozenset iteration order is
-            # id-based and varies run to run; fault-mode timelines must
-            # not (the fault-free path keeps its historical ordering so
-            # golden makespans stay bit-identical).
-            holders = sorted(holders, key=lambda s: s.name)
+        # Deterministic tie-breaks: frozenset iteration order is id-based,
+        # and process address layout (ASLR) makes it vary *per process* —
+        # any workload with genuinely ambiguous multi-holder reads (e.g.
+        # Cholesky panel broadcasts) would otherwise pick different
+        # sources, and therefore different makespans, on every run.  The
+        # historical figure workloads never hit an ambiguous choice, so
+        # sorting keeps their golden makespans bit-identical.
+        holders = sorted(holders, key=lambda s: s.name)
         same_node = [s for s in holders if s.node_index == dst.node_index]
         for s in same_node:
             if s.kind == "host":

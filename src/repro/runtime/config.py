@@ -22,7 +22,10 @@ from ..memory.cache import CachePolicy
 
 __all__ = ["RuntimeConfig", "SCHEDULERS"]
 
-SCHEDULERS = ("bf", "default", "affinity")
+#: the paper's three policies plus the adaptive tier (docs/SCHEDULERS.md):
+#: ``ws`` work-stealing, ``cp`` critical-path lookahead, ``adaptive``
+#: metrics-driven meta-scheduler.
+SCHEDULERS = ("bf", "default", "affinity", "ws", "cp", "adaptive")
 
 
 @dataclass(frozen=True)
@@ -83,6 +86,17 @@ class RuntimeConfig:
     #: break cache-eviction LRU ties by re-fetch cost (nbytes divided by
     #: the source link bandwidth): cheap-to-refetch regions evict first.
     cost_aware_eviction: bool = False
+    # -- adaptive meta-scheduler knobs (scheduler="adaptive") -------------
+    #: scheduler events (submissions + polls) between signal evaluations.
+    adaptive_interval: int = 24
+    #: consecutive agreeing evaluations required before a policy (or
+    #: datamove write-mode) switch — the anti-thrash guard.
+    adaptive_hysteresis: int = 2
+    #: let the adaptive scheduler drive the datamove write mode (toggling
+    #: write-back elision from live link/write-back pressure).  Constructs
+    #: a DataMover (with liveness tracking) even when the static elision
+    #: flag is off, so the mode can be switched mid-run.
+    adaptive_datamove: bool = False
 
     def __post_init__(self):
         object.__setattr__(self, "cache_policy",
@@ -108,6 +122,10 @@ class RuntimeConfig:
             raise ValueError("coalesce_window must be positive")
         if self.presend_depth < 0:
             raise ValueError("presend_depth cannot be negative")
+        if self.adaptive_interval < 1:
+            raise ValueError("adaptive_interval must be at least 1")
+        if self.adaptive_hysteresis < 1:
+            raise ValueError("adaptive_hysteresis must be at least 1")
         if self.fault_plan is not None and not hasattr(
                 self.fault_plan, "is_empty"):
             # Duck-typed on purpose: importing repro.faults here would
@@ -124,7 +142,8 @@ class RuntimeConfig:
     def datamove_enabled(self) -> bool:
         """True when any data-movement optimisation flag is active."""
         return bool(self.wb_elision or self.coalescing
-                    or self.presend_depth or self.cost_aware_eviction)
+                    or self.presend_depth or self.cost_aware_eviction
+                    or self.adaptive_datamove)
 
     def describe(self) -> str:
         """Short label used by the benchmark tables, e.g. ``wb-affinity``."""
@@ -144,4 +163,6 @@ class RuntimeConfig:
             parts.append(f"pd{self.presend_depth}")
         if self.cost_aware_eviction:
             parts.append("cae")
+        if self.adaptive_datamove:
+            parts.append("adm")
         return "-".join(parts)

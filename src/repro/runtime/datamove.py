@@ -43,6 +43,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Optional
 
+from ..memory.cache import CachePolicy
 from ..memory.region import Region, RegionKey
 from ..sim import Event
 
@@ -247,9 +248,17 @@ class DataMover:
         self.rt = rt
         self.elision = cfg.wb_elision
         self.presend_depth = cfg.presend_depth
+        #: runtime override of the configured cache write policy.  ``None``
+        #: means "as configured"; the adaptive meta-scheduler sets it (e.g.
+        #: write-through -> write-back when eager commit write-backs are
+        #: saturating the transfer links).  Consulted by
+        #: :meth:`CoherenceEngine.commit_outputs` at every publish point,
+        #: so a switch takes effect for all subsequent commits.
+        self.write_mode: Optional[CachePolicy] = None
         self.liveness: Optional[LivenessTracker] = (
             LivenessTracker()
-            if (cfg.wb_elision or cfg.cost_aware_eviction) else None)
+            if (cfg.wb_elision or cfg.cost_aware_eviction
+                or cfg.adaptive_datamove) else None)
         self.coalescer: Optional[TransferCoalescer] = (
             TransferCoalescer(rt, cfg.coalesce_window)
             if cfg.coalescing else None)
@@ -285,6 +294,17 @@ class DataMover:
         if self.liveness is not None:
             assert getattr(task, "_liveness_entries", None) is not None, \
                 "requeued task was already retired from liveness"
+
+    # -- runtime write-mode switching -------------------------------------
+    def set_write_mode(self, policy: "CachePolicy | str") -> None:
+        """Override the cache write policy for every commit from now on.
+
+        Dirty entries created before the switch keep their state: a
+        write-through -> write-back switch simply stops eager commit
+        write-backs (eviction and flush still drain dirty data), and the
+        reverse resumes them.  Neither direction can lose data."""
+        self.write_mode = CachePolicy.parse(policy)
+        self.rt.metrics.inc("datamove.write_mode_switches")
 
     # -- write-back elision ----------------------------------------------
     def may_elide_writeback(self, region: Region) -> bool:

@@ -1,33 +1,71 @@
-"""The paper's three scheduling policies for Nanos++."""
+"""The paper's three scheduling policies for Nanos++, plus the adaptive
+tier (work-stealing, critical-path lookahead, and the metrics-driven
+meta-scheduler) — see docs/SCHEDULERS.md."""
 
-from typing import Callable
+from typing import Callable, Optional
 
 from ...memory.directory import Directory
+from .adaptive import AdaptiveScheduler
 from .affinity import AffinityScheduler
 from .base import Scheduler, TaskQueue, WorkerProtocol
 from .breadth_first import BreadthFirstScheduler
+from .critical_path import (BottomLevelEstimator, CriticalPathScheduler,
+                            PriorityTaskQueue)
 from .dep_aware import DependencyAwareScheduler
+from .work_stealing import WorkStealingScheduler
 
 __all__ = [
     "Scheduler",
     "TaskQueue",
+    "PriorityTaskQueue",
     "WorkerProtocol",
     "BreadthFirstScheduler",
     "DependencyAwareScheduler",
     "AffinityScheduler",
+    "WorkStealingScheduler",
+    "CriticalPathScheduler",
+    "BottomLevelEstimator",
+    "AdaptiveScheduler",
     "make_scheduler",
 ]
 
 
 def make_scheduler(name: str, notify: Callable[[], None],
                    directory: Directory, steal: bool = True,
-                   rr_chunk: int = 1, metrics=None) -> Scheduler:
-    """Instantiate a scheduling policy by its evaluation-chart name."""
+                   rr_chunk: int = 1, metrics=None,
+                   config=None) -> Scheduler:
+    """Instantiate a scheduling policy by its evaluation-chart name.
+
+    ``config`` (a :class:`~repro.runtime.config.RuntimeConfig`) is only
+    consulted by the adaptive meta-scheduler, for its interval/hysteresis
+    knobs; the static policies take everything through the explicit
+    arguments.
+    """
     if name == "bf":
-        return BreadthFirstScheduler(notify, metrics=metrics)
-    if name == "default":
-        return DependencyAwareScheduler(notify, metrics=metrics)
-    if name == "affinity":
-        return AffinityScheduler(notify, directory, steal=steal,
-                                 rr_chunk=rr_chunk, metrics=metrics)
-    raise ValueError(f"unknown scheduler {name!r}")
+        sched = BreadthFirstScheduler(notify, metrics=metrics)
+    elif name == "default":
+        sched = DependencyAwareScheduler(notify, metrics=metrics)
+    elif name == "affinity":
+        sched = AffinityScheduler(notify, directory, steal=steal,
+                                  rr_chunk=rr_chunk, metrics=metrics)
+    elif name == "ws":
+        sched = WorkStealingScheduler(notify, directory, steal=steal,
+                                      rr_chunk=rr_chunk, metrics=metrics)
+    elif name == "cp":
+        sched = CriticalPathScheduler(notify, directory, steal=steal,
+                                      rr_chunk=rr_chunk, metrics=metrics)
+    elif name == "adaptive":
+        kwargs = {}
+        if config is not None:
+            kwargs = dict(interval=config.adaptive_interval,
+                          hysteresis=config.adaptive_hysteresis,
+                          adaptive_datamove=config.adaptive_datamove)
+        sched = AdaptiveScheduler(notify, directory, steal=steal,
+                                  rr_chunk=rr_chunk, metrics=metrics,
+                                  **kwargs)
+    else:
+        raise ValueError(f"unknown scheduler {name!r}")
+    if metrics is not None and name != "adaptive":
+        # The adaptive policy maintains this itself ("adaptive:<child>").
+        metrics.set_info("scheduler.policy", name)
+    return sched

@@ -18,7 +18,54 @@ from ...memory.directory import Directory
 from ..task import Task
 from .base import Scheduler, TaskQueue, WorkerProtocol
 
-__all__ = ["AffinityScheduler"]
+__all__ = ["AffinityScheduler", "locality_pulls", "locality_score"]
+
+
+def locality_pulls(directory: Directory, task: Task) -> list[tuple[int, set]]:
+    """One directory resolution per access: ``(weighted bytes, holder
+    spaces)`` tuples, reused to score every candidate worker against the
+    same snapshot (instead of workers x accesses directory lookups).
+    The holder sets are the directory's live sets — placement is
+    synchronous, so nothing mutates them between here and scoring, and
+    skipping the per-access copies is measurable on figure workloads.
+
+    Shared by every locality-aware policy (affinity, work-stealing victim
+    bias, critical-path placement)."""
+    pulls = []
+    for acc in task.accesses:
+        ent = directory.entry(acc.region)
+        if not acc.direction.reads and ent.version == 0:
+            # A pure output over a never-written region: there is no
+            # data anywhere yet (the home entry is just the registration
+            # point), so it exerts no pull.
+            continue
+        # Written data weighs double: keeping the produced (often
+        # dirty) copy where it lives avoids migrating it, and its
+        # next consumer is usually the next task of the same chain.
+        weight = 2 if acc.direction.writes else 1
+        pulls.append((weight * acc.region.nbytes, ent.holders))
+    return pulls
+
+
+def locality_score(pulls, worker: WorkerProtocol) -> int:
+    """Bytes of the task's data currently resident in the worker's
+    domain.  GPU workers score their own device space; node proxies (and
+    SMP workers) score every space of their node — the hierarchical
+    (node-level) view of the directory."""
+    score = 0
+    if worker.kind == "gpu":
+        space = worker.space
+        for nbytes, holders in pulls:
+            if space in holders:
+                score += nbytes
+    else:
+        node = worker.node_index
+        for nbytes, holders in pulls:
+            for s in holders:
+                if s.node_index == node:
+                    score += nbytes
+                    break
+    return score
 
 
 class AffinityScheduler(Scheduler):
@@ -56,48 +103,13 @@ class AffinityScheduler(Scheduler):
 
     # -- scoring ------------------------------------------------------------
     def _pulls(self, task: Task) -> list[tuple[int, set]]:
-        """One directory resolution per access: ``(weighted bytes, holder
-        spaces)`` tuples, reused to score every candidate worker against the
-        same snapshot (instead of workers x accesses directory lookups).
-        The holder sets are the directory's live sets — placement is
-        synchronous, so nothing mutates them between here and scoring, and
-        skipping the per-access copies is measurable on figure workloads."""
-        pulls = []
-        directory = self.directory
-        for acc in task.accesses:
-            ent = directory.entry(acc.region)
-            if not acc.direction.reads and ent.version == 0:
-                # A pure output over a never-written region: there is no
-                # data anywhere yet (the home entry is just the registration
-                # point), so it exerts no pull.
-                continue
-            # Written data weighs double: keeping the produced (often
-            # dirty) copy where it lives avoids migrating it, and its
-            # next consumer is usually the next task of the same chain.
-            weight = 2 if acc.direction.writes else 1
-            pulls.append((weight * acc.region.nbytes, ent.holders))
-        return pulls
+        """See :func:`locality_pulls` (shared with the adaptive tier)."""
+        return locality_pulls(self.directory, task)
 
     @staticmethod
     def _score_from(pulls, worker: WorkerProtocol) -> int:
-        """Bytes of the task's data currently resident in the worker's
-        domain.  GPU workers score their own device space; node proxies (and
-        SMP workers) score every space of their node — the hierarchical
-        (node-level) view of the directory."""
-        score = 0
-        if worker.kind == "gpu":
-            space = worker.space
-            for nbytes, holders in pulls:
-                if space in holders:
-                    score += nbytes
-        else:
-            node = worker.node_index
-            for nbytes, holders in pulls:
-                for s in holders:
-                    if s.node_index == node:
-                        score += nbytes
-                        break
-        return score
+        """See :func:`locality_score` (shared with the adaptive tier)."""
+        return locality_score(pulls, worker)
 
     def _score(self, task: Task, worker: WorkerProtocol) -> int:
         """Affinity of one worker for one task (kept for introspection;

@@ -76,6 +76,19 @@ class DependencyAwareScheduler(Scheduler):
                 return task
         return None
 
+    def peek_for(self, worker: WorkerProtocol, n: int) -> list[Task]:
+        """Preview the worker's own hint queue (tasks only it was hinted)
+        first, then fill from this proxy's partitioned slice of the global
+        queue (see :meth:`Scheduler.peek_for`).  Other workers' hint queues
+        are not previewed — their owner will most likely take them."""
+        out = self._hints[id(worker)].peek_for(worker, n)
+        if len(out) < n:
+            seen = {t.tid for t in out}
+            for t in self._peek_partitioned(worker, n - len(out)):
+                if t.tid not in seen:
+                    out.append(t)
+        return out[:n]
+
     @property
     def pending(self) -> int:
         return len(self.global_queue) + sum(len(q) for q in self._hints.values())

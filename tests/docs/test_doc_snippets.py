@@ -57,6 +57,12 @@ def test_datamove_snippets_run(i, capsys):
     exec(compile(code, f"DATAMOVE.md[block {i}]", "exec"), {})
 
 
+@pytest.mark.parametrize("i", range(len(python_blocks("SCHEDULERS.md"))))
+def test_schedulers_snippets_run(i, capsys):
+    code = python_blocks("SCHEDULERS.md")[i]
+    exec(compile(code, f"SCHEDULERS.md[block {i}]", "exec"), {})
+
+
 def test_docs_readme_links_resolve():
     """docs/README.md is the index — every link target must exist."""
     text = (DOCS / "README.md").read_text()

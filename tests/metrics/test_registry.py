@@ -121,3 +121,26 @@ def test_reset_forgets_everything():
     m.reset()
     assert len(m) == 0
     assert m.snapshot() == {}
+
+
+def test_info_instrument_last_write_wins():
+    reg = CounterRegistry()
+    assert reg.info("scheduler.policy") is None
+    assert reg.info("scheduler.policy", "unset") == "unset"
+    reg.set_info("scheduler.policy", "affinity")
+    reg.set_info("scheduler.policy", "adaptive:cp")
+    assert reg.info("scheduler.policy") == "adaptive:cp"
+
+
+def test_info_appears_in_snapshot_and_respects_kinds():
+    reg = CounterRegistry()
+    reg.set_info("datamove.write_mode", "wb")
+    reg.inc("tasks.total")
+    snap = reg.snapshot()
+    assert snap["datamove.write_mode"] == "wb"
+    assert snap["tasks.total"] == 1
+    # An info name cannot be reused as another instrument kind.
+    with pytest.raises(ValueError):
+        reg.counter("datamove.write_mode")
+    with pytest.raises(ValueError):
+        reg.set_info("tasks.total", "oops")

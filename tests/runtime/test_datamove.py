@@ -368,27 +368,41 @@ def test_cluster_run_with_coalescing_fuses_messages():
 # Presend pipelining (prestage lookahead)
 # ---------------------------------------------------------------------------
 
-def test_prestage_only_previews_local_queues():
-    """The base (global-queue) scheduler must report no lookahead: its
-    tasks may go to any worker, so previewing would prestage the same
-    inputs to every node (measured to congest the master NIC)."""
+def test_prestage_previews_disjoint_global_queue_slices():
+    """The base (global-queue) scheduler previews a *partitioned* slice of
+    the global queue per node proxy: each proxy sees a disjoint subset, so
+    no region is speculatively prestaged to two nodes (naive previewing
+    was measured to congest the master NIC)."""
     from repro.runtime.scheduler.base import Scheduler
     sched = Scheduler(notify=lambda *a: None)
 
     class W:
         kind = "node"
-        node_index = 0
         space = None
+
+        def __init__(self, node_index):
+            self.node_index = node_index
 
         def accepts(self, task):
             return True
 
-    w = W()
-    sched.register_worker(w)
+    w0, w1 = W(0), W(1)
+    sched.register_worker(w0)
+    sched.register_worker(w1)
     r_kernel = quick_kernel()
-    sched.submit(Task(name="t", device="cuda", kernel=r_kernel,
-                      accesses=()))
-    assert sched.peek_for(w, 4) == []
+    for i in range(6):
+        sched.submit(Task(name=f"t{i}", device="cuda", kernel=r_kernel,
+                          accesses=()))
+    p0 = sched.peek_for(w0, 4)
+    p1 = sched.peek_for(w1, 4)
+    assert p0 and p1
+    # Disjoint slices covering the queue prefix, in readiness order.
+    assert {t.tid for t in p0}.isdisjoint(t.tid for t in p1)
+    assert [t.tid for t in p0] == sorted(t.tid for t in p0)
+    # Non-node workers still report no lookahead (only proxies prestage).
+    class S(W):
+        kind = "smp"
+    assert sched.peek_for(S(0), 4) == []
 
 
 def test_prestage_moves_inputs_ahead_of_dispatch():
@@ -470,3 +484,23 @@ def test_functional_outputs_identical_with_flags_on():
     assert set(off.output) == set(on.output)
     for key in off.output:
         assert np.array_equal(off.output[key], on.output[key]), key
+
+
+@pytest.mark.parametrize(
+    "policy", ["bf", "default", "affinity", "ws", "cp", "adaptive"])
+def test_prestage_fires_under_every_policy(policy):
+    """presend_depth > 0 must produce prestage traffic whatever the
+    scheduler: every policy's ``peek_for`` (local-queue previews composed
+    with partitioned global-queue slices) has to expose lookahead to the
+    cluster master's prestage pump."""
+    from repro.apps import matmul
+    from repro.bench.harness import fresh_cluster
+    size = matmul.MatmulSize(n=256, bs=64)
+    cfg = RuntimeConfig(functional=False, cache_policy="wb",
+                        scheduler=policy, presend=2, presend_depth=4,
+                        slave_to_slave=False)
+    res = matmul.run_ompss(fresh_cluster(4), size, config=cfg, init="seq")
+    prestages = sum(v for k, v in res.metrics.items()
+                    if k.startswith("cluster.node")
+                    and k.endswith(".prestages"))
+    assert prestages > 0

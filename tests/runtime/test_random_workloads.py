@@ -45,7 +45,8 @@ op_strategy = st.tuples(
 
 config_strategy = st.fixed_dictionaries({
     "cache_policy": st.sampled_from(["nocache", "wt", "wb"]),
-    "scheduler": st.sampled_from(["bf", "default", "affinity"]),
+    "scheduler": st.sampled_from(["bf", "default", "affinity",
+                                  "ws", "cp", "adaptive"]),
     "overlap": st.booleans(),
     "prefetch": st.booleans(),
 })
@@ -116,3 +117,35 @@ def test_runtime_matches_sequential_reference(ops, cfg, machine):
             got, ref[idx], rtol=1e-5,
             err_msg=(f"region {idx} diverged under {cfg} on {machine}"),
         )
+
+
+# ---------------------------------------------------------------------------
+# Adaptive-tier schedulers never change numerics
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=10, deadline=None)
+@given(nt=st.integers(2, 5), bs=st.sampled_from([8, 16]),
+       machine=st.sampled_from(["gpu2", "cluster2"]))
+def test_adaptive_tier_bit_identical_to_default(nt, bs, machine):
+    """Whatever the problem size, the ws / cp / adaptive policies execute
+    the same task graph as the default scheduler and must produce the
+    *bit-identical* float32 factorization — reordering ready tasks can
+    change the timeline, never the numbers."""
+    from repro.apps import cholesky
+
+    size = cholesky.CholeskySize(n=nt * bs, bs=bs)
+
+    def run(policy):
+        env = Environment()
+        if machine == "cluster2":
+            m = build_gpu_cluster(env, num_nodes=2)
+        else:
+            m = build_multi_gpu_node(env, num_gpus=2)
+        cfg = RuntimeConfig(functional=True, scheduler=policy)
+        return cholesky.run_ompss(m, size, config=cfg, verify=True)
+
+    reference = run("default").output["a"]
+    for policy in ("ws", "cp", "adaptive"):
+        got = run(policy).output["a"]
+        assert np.array_equal(got, reference), \
+            f"{policy} diverged from default at nt={nt} bs={bs} {machine}"

@@ -282,3 +282,205 @@ def test_pending_counts():
         assert sched.pending == 1
         assert sched.next_task(smp) is not None
         assert sched.pending == 0
+
+
+# ---------------------------------------------------------------------------
+# Adaptive tier: work stealing, critical path, meta-scheduler
+# ---------------------------------------------------------------------------
+
+from repro.runtime.scheduler import (  # noqa: E402
+    AdaptiveScheduler,
+    BottomLevelEstimator,
+    CriticalPathScheduler,
+    PriorityTaskQueue,
+    WorkStealingScheduler,
+)
+
+
+def test_make_scheduler_adaptive_tier_dispatch():
+    host = HostSpace("h", 0, False, canonical=True)
+    d = Directory(home=host)
+    assert isinstance(make_scheduler("ws", lambda *a: None, d),
+                      WorkStealingScheduler)
+    assert isinstance(make_scheduler("cp", lambda *a: None, d),
+                      CriticalPathScheduler)
+    assert isinstance(make_scheduler("adaptive", lambda *a: None, d),
+                      AdaptiveScheduler)
+
+
+def test_priority_queue_orders_by_priority_then_readiness():
+    host, d, gpus, smp, _ = make_world()
+    q = PriorityTaskQueue()
+    o = DataObject(name="x", num_elements=100)
+    low = smp_task("low", Access(Region(o, 0, 10), Direction.OUT))
+    hi = smp_task("hi", Access(Region(o, 10, 10), Direction.OUT))
+    tie = smp_task("tie", Access(Region(o, 20, 10), Direction.OUT))
+    q.push(low, 1.0)
+    q.push(hi, 5.0)
+    q.push(tie, 5.0)
+    assert q.peek_for(smp, 3) == [hi, tie, low]
+    assert q.pop_for(smp) is hi
+    assert q.pop_for(smp) is tie        # equal priority: readiness order
+    assert q.pop_for(smp) is low
+    assert q.pop_for(smp) is None
+
+
+def test_priority_queue_drain_restores_readiness_order():
+    host, d, gpus, smp, _ = make_world()
+    q = PriorityTaskQueue()
+    o = DataObject(name="x", num_elements=100)
+    tasks = [smp_task(f"t{i}", Access(Region(o, i * 10, 10), Direction.OUT))
+             for i in range(4)]
+    for i, t in enumerate(tasks):
+        q.push(t, float(i))  # priorities opposite to submission order
+    assert q.drain() == tasks
+    assert len(q) == 0
+
+
+def test_bottom_level_estimator_chain():
+    est = BottomLevelEstimator()
+    o = DataObject(name="x", num_elements=100)
+    a = smp_task("a", Access(Region(o, 0, 10), Direction.INOUT))
+    b = smp_task("b", Access(Region(o, 0, 10), Direction.INOUT))
+    c = smp_task("c", Access(Region(o, 0, 10), Direction.INOUT))
+    a.successors.append(b)
+    b.successors.append(c)
+    # No specs, no observations: every task costs NOMINAL, so the chain
+    # head's bottom level is strictly larger than its successors'.
+    # Query the head FIRST: the fold must recurse through unmemoized
+    # successors (a head-first query once dropped their contribution).
+    assert est.bottom_level(a) > est.bottom_level(b)
+    assert est.bottom_level(b) > est.bottom_level(c)
+    assert est.bottom_level(c) > 0
+    assert est.bottom_level(a) == pytest.approx(3 * est.bottom_level(c))
+
+
+def test_ws_places_by_locality():
+    host, d, gpus, smp, _ = make_world()
+    sched = WorkStealingScheduler(lambda *a: None, d)
+    for w in gpus + [smp]:
+        sched.register_worker(w)
+    o = DataObject(name="x", num_elements=100)
+    d.record_write(o.whole, gpus[1].space)
+    t = cuda_task("t", Access(o.whole, Direction.IN))
+    sched.submit(t)
+    # The owner of the data gets the task at the front of its deque.
+    assert sched.next_task(gpus[1]) is t
+
+
+def test_ws_steals_coldest_work_from_victim():
+    host, d, gpus, smp, _ = make_world()
+    sched = WorkStealingScheduler(lambda *a: None, d)
+    for w in gpus + [smp]:
+        sched.register_worker(w)
+    o = DataObject(name="x", num_elements=100)
+    d.record_write(o.whole, gpus[0].space)
+    tasks = [cuda_task(f"t{i}", Access(o.whole, Direction.IN))
+             for i in range(4)]
+    for t in tasks:
+        sched.submit(t)          # all pulled to gpu0 by locality
+    # gpu1 is empty: it steals the back HALF of gpu0's deque (the work
+    # the owner would reach last), in readiness order, while gpu0 keeps
+    # popping the front.
+    assert sched.next_task(gpus[1]) is tasks[2]
+    assert sched.stolen == 1
+    assert sched.stolen_tasks == 2
+    assert sched.next_task(gpus[1]) is tasks[3]   # rest of the loot
+    assert sched.next_task(gpus[0]) is tasks[0]
+
+
+def test_ws_no_steal_when_disabled():
+    host, d, gpus, smp, _ = make_world()
+    sched = WorkStealingScheduler(lambda *a: None, d, steal=False)
+    for w in gpus + [smp]:
+        sched.register_worker(w)
+    o = DataObject(name="x", num_elements=100)
+    d.record_write(o.whole, gpus[0].space)
+    t = cuda_task("t", Access(o.whole, Direction.IN))
+    sched.submit(t)
+    assert sched.next_task(gpus[1]) is None
+    assert sched.next_task(gpus[0]) is t
+
+
+def test_ws_blacklist_reissues_queued_tasks():
+    host, d, gpus, smp, _ = make_world()
+    sched = WorkStealingScheduler(lambda *a: None, d)
+    for w in gpus + [smp]:
+        sched.register_worker(w)
+    o = DataObject(name="x", num_elements=100)
+    d.record_write(o.whole, gpus[0].space)
+    tasks = [cuda_task(f"t{i}", Access(o.whole, Direction.IN))
+             for i in range(3)]
+    for t in tasks:
+        sched.submit(t)
+    stranded = sched.blacklist(gpus[0])
+    assert {t.tid for t in stranded} == {t.tid for t in tasks}
+    for t in stranded:          # resubmission lands on the survivor
+        sched.submit(t)
+    assert sched.next_task(gpus[1]) is not None
+
+
+def test_cp_pops_highest_bottom_level_first():
+    host, d, gpus, smp, _ = make_world()
+    sched = CriticalPathScheduler(lambda *a: None, d)
+    for w in gpus + [smp]:
+        sched.register_worker(w)
+    o = DataObject(name="x", num_elements=100)
+    # "head" has a long successor chain -> higher bottom level.
+    head = smp_task("head", Access(Region(o, 0, 10), Direction.INOUT))
+    mid = smp_task("mid", Access(Region(o, 0, 10), Direction.INOUT))
+    head.successors.append(mid)
+    leaf = smp_task("leaf", Access(Region(o, 50, 10), Direction.OUT))
+    sched.submit(leaf)
+    sched.submit(head)
+    assert sched.next_task(smp) is head    # priority beats FIFO order
+    assert sched.next_task(smp) is leaf
+
+
+def test_adaptive_starts_on_affinity_and_delegates():
+    host, d, gpus, smp, _ = make_world()
+    sched = AdaptiveScheduler(lambda *a: None, d)
+    assert sched.active is sched.children["affinity"]
+    for w in gpus + [smp]:
+        sched.register_worker(w)
+    o = DataObject(name="x", num_elements=100)
+    t = cuda_task("t", Access(o.whole, Direction.OUT))
+    sched.submit(t)
+    assert sched.pending == 1
+    assert sched.next_task(gpus[0]) is t
+    assert sched.pending == 0
+
+
+def test_adaptive_switch_preserves_queued_tasks():
+    host, d, gpus, smp, _ = make_world()
+    sched = AdaptiveScheduler(lambda *a: None, d)
+    for w in gpus + [smp]:
+        sched.register_worker(w)
+    o = DataObject(name="x", num_elements=400)
+    tasks = [cuda_task(f"t{i}", Access(Region(o, i * 10, 10), Direction.OUT))
+             for i in range(8)]
+    for t in tasks:
+        sched.submit(t)
+    sched._switch("cp")
+    assert sched.active is sched.children["cp"]
+    assert sched.switches == 1
+    got = set()
+    while True:
+        t = sched.next_task(gpus[0]) or sched.next_task(gpus[1])
+        if t is None:
+            break
+        got.add(t.tid)
+    assert got == {t.tid for t in tasks}   # nothing lost in the handoff
+
+
+def test_adaptive_blacklist_drains_every_child():
+    host, d, gpus, smp, _ = make_world()
+    sched = AdaptiveScheduler(lambda *a: None, d)
+    for w in gpus + [smp]:
+        sched.register_worker(w)
+    o = DataObject(name="x", num_elements=100)
+    d.record_write(o.whole, gpus[0].space)
+    t = cuda_task("t", Access(o.whole, Direction.IN))
+    sched.submit(t)
+    stranded = sched.blacklist(gpus[0])
+    assert t.tid in {x.tid for x in stranded}
