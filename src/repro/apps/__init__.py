@@ -1,14 +1,18 @@
 """The four evaluation applications (paper Section IV.A.2), plus the
-tiled Cholesky task-graph benchmark.
+irregular task-graph benchmarks.
 
 Each paper app comes in Serial / CUDA / MPI+CUDA / OmpSs versions — the
 same set the paper compares for performance (Figs. 5-13) and productivity
-(Table I).  Cholesky (Serial / OmpSs) is an addition beyond the paper: an
-irregular fan-in DAG used to evaluate the scheduling policies
-(docs/SCHEDULERS.md); it stays out of the Table I productivity counts.
+(Table I).  Three apps go beyond the paper (ROADMAP item 3, Serial /
+OmpSs only): tiled Cholesky (triangular fan-in), Jacobi with halo
+exchange (nearest-neighbour chains), and the sparse segment reduction
+(ragged fan-in).  They exist to stress the schedulers and the coherence
+layer on graph shapes the dense paper apps never produce, and they stay
+out of the Table I productivity counts.
 """
 
-from . import cholesky, matmul, nbody, perlin, stream
+from . import cholesky, jacobi, matmul, nbody, perlin, spreduce, stream
 from .base import AppResult
 
-__all__ = ["matmul", "stream", "perlin", "nbody", "cholesky", "AppResult"]
+__all__ = ["matmul", "stream", "perlin", "nbody", "cholesky", "jacobi",
+           "spreduce", "AppResult"]

@@ -1,0 +1,23 @@
+"""Jacobi stencil with halo exchange (Serial / OmpSs)."""
+
+from .common import (
+    PAPER_JACOBI,
+    TEST_JACOBI,
+    JacobiSize,
+    build_grid,
+    jacobi_reference,
+    mcells,
+)
+from .ompss import run_ompss
+from .serial import run_serial
+
+__all__ = [
+    "JacobiSize",
+    "PAPER_JACOBI",
+    "TEST_JACOBI",
+    "build_grid",
+    "jacobi_reference",
+    "mcells",
+    "run_ompss",
+    "run_serial",
+]

@@ -1,0 +1,150 @@
+"""OmpSs Jacobi stencil with halo exchange.
+
+One task per row block per sweep, ping-ponging between two grids.  A
+block reads its own three regions of the source grid plus the *boundary-
+row* regions of its neighbours (the halo — exact-match regions, since
+each block's first and last rows are carved out as standalone regions)
+and writes its own three regions of the destination grid.  The
+dependency graph per sweep is a nearest-neighbour chain: maximal width
+with communication only at the seams, the classic stencil shape the
+schedulers and the datamove layer are measured against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...api import Program, target, task
+from ...cuda.kernels import streaming_cost
+from ...hardware.cluster import Machine
+from ...runtime.config import RuntimeConfig
+from ..base import AppResult
+from .common import JacobiSize, build_grid, mcells
+
+__all__ = ["run_ompss"]
+
+
+def _cost(halo_rows):
+    """Bandwidth-bound kernel: the sweep reads ~5 and writes 1 float per
+    point over the block's rows plus its halo rows."""
+    return lambda spec, bound: streaming_cost(
+        spec, 6 * 4 * (bound["rows"] + halo_rows) * bound["n"])
+
+
+def _sweep(src: np.ndarray, n: int) -> np.ndarray:
+    """The stencil expression over ``src`` rows (bit-identical to
+    ``common.jacobi_step`` — same float32 expression per element)."""
+    new = src[1:-1].copy()
+    up, dn = src[:-2, 1:-1], src[2:, 1:-1]
+    lf, rt = src[1:-1, :-2], src[1:-1, 2:]
+    new[:, 1:-1] = ((up + dn) + (lf + rt)) * np.float32(0.25)
+    return new
+
+
+@target(device="cuda", copy_deps=True)
+@task(inputs=("a_top", "a_int", "a_bot", "halo_dn"),
+      outputs=("b_top", "b_int", "b_bot"),
+      cost=_cost(1), label="jacobi_top")
+def jacobi_top(a_top, a_int, a_bot, halo_dn, b_top, b_int, b_bot, n, rows):
+    """Topmost block: global row 0 is Dirichlet (copied, not updated)."""
+    src = np.concatenate([a_top, a_int, a_bot, halo_dn]).reshape(-1, n)
+    new = src[:-1].copy()
+    up, dn = src[:-2, 1:-1], src[2:, 1:-1]
+    lf, rt = src[1:-1, :-2], src[1:-1, 2:]
+    new[1:, 1:-1] = ((up + dn) + (lf + rt)) * np.float32(0.25)
+    b_top[:] = new[0]
+    b_int[:] = new[1:-1].ravel()
+    b_bot[:] = new[-1]
+
+
+@target(device="cuda", copy_deps=True)
+@task(inputs=("halo_up", "a_top", "a_int", "a_bot", "halo_dn"),
+      outputs=("b_top", "b_int", "b_bot"),
+      cost=_cost(2), label="jacobi_mid")
+def jacobi_mid(halo_up, a_top, a_int, a_bot, halo_dn,
+               b_top, b_int, b_bot, n, rows):
+    """Interior block: halo rows on both sides."""
+    src = np.concatenate([halo_up, a_top, a_int, a_bot,
+                          halo_dn]).reshape(-1, n)
+    new = _sweep(src, n)
+    b_top[:] = new[0]
+    b_int[:] = new[1:-1].ravel()
+    b_bot[:] = new[-1]
+
+
+@target(device="cuda", copy_deps=True)
+@task(inputs=("halo_up", "a_top", "a_int", "a_bot"),
+      outputs=("b_top", "b_int", "b_bot"),
+      cost=_cost(1), label="jacobi_bot")
+def jacobi_bot(halo_up, a_top, a_int, a_bot, b_top, b_int, b_bot, n, rows):
+    """Bottom block: global row n-1 is Dirichlet (copied, not updated)."""
+    src = np.concatenate([halo_up, a_top, a_int, a_bot]).reshape(-1, n)
+    new = src[1:].copy()
+    up, dn = src[:-2, 1:-1], src[2:, 1:-1]
+    lf, rt = src[1:-1, :-2], src[1:-1, 2:]
+    new[:-1, 1:-1] = ((up + dn) + (lf + rt)) * np.float32(0.25)
+    b_top[:] = new[0]
+    b_int[:] = new[1:-1].ravel()
+    b_bot[:] = new[-1]
+
+
+def run_ompss(machine: Machine, size: JacobiSize,
+              config: Optional[RuntimeConfig] = None,
+              verify: bool = False) -> AppResult:
+    """Run the OmpSs Jacobi; times the sweeps only."""
+    config = config or RuntimeConfig()
+    prog = Program(machine, config)
+    n, nb, rows = size.n, size.nb, size.rows
+
+    init = build_grid(size) if config.functional else None
+    a = prog.array("A", size.elements, init=init)
+    b = prog.array("B", size.elements)
+
+    def regions(handle, blk):
+        """(top_row, interior, bottom_row) views of one row block."""
+        lo = blk * rows * n
+        return (handle[lo:lo + n],
+                handle[lo + n:lo + (rows - 1) * n],
+                handle[lo + (rows - 1) * n:lo + rows * n])
+
+    timings = {}
+
+    def main():
+        timings["t0"] = prog.env.now
+        src, dst = a, b
+        for _ in range(size.iters):
+            for blk in range(nb):
+                s_top, s_int, s_bot = regions(src, blk)
+                d_top, d_int, d_bot = regions(dst, blk)
+                if blk == 0:
+                    halo_dn = regions(src, 1)[0]
+                    jacobi_top(s_top, s_int, s_bot, halo_dn,
+                               d_top, d_int, d_bot, n, rows)
+                elif blk == nb - 1:
+                    halo_up = regions(src, blk - 1)[2]
+                    jacobi_bot(halo_up, s_top, s_int, s_bot,
+                               d_top, d_int, d_bot, n, rows)
+                else:
+                    halo_up = regions(src, blk - 1)[2]
+                    halo_dn = regions(src, blk + 1)[0]
+                    jacobi_mid(halo_up, s_top, s_int, s_bot, halo_dn,
+                               d_top, d_int, d_bot, n, rows)
+            src, dst = dst, src
+        yield from prog.taskwait(noflush=True)
+        timings["t1"] = prog.env.now
+        if verify:
+            yield from prog.taskwait()          # flush results to the host
+
+    prog.run(main())
+    elapsed = timings["t1"] - timings["t0"]
+    output = None
+    if verify and config.functional:
+        final = a if size.iters % 2 == 0 else b
+        output = {"grid": np.array(final.np)}
+    return AppResult(
+        name="jacobi", version="ompss", makespan=elapsed,
+        metric=mcells(size, elapsed), metric_unit="Mcell/s",
+        stats=prog.stats, metrics=prog.metrics.snapshot(), output=output,
+    )

@@ -1,0 +1,17 @@
+"""Serial Jacobi sweeps (the annotation starting point)."""
+
+from __future__ import annotations
+
+from ..base import AppResult
+from .common import JacobiSize, build_grid, jacobi_reference
+
+__all__ = ["run_serial"]
+
+
+def run_serial(size: JacobiSize) -> AppResult:
+    grid = jacobi_reference(size, build_grid(size))
+    return AppResult(
+        name="jacobi", version="serial", makespan=0.0, metric=0.0,
+        metric_unit="Mcell/s",
+        output={"grid": grid},
+    )

@@ -1,0 +1,25 @@
+"""Sparse/irregular segment reduction (Serial / OmpSs)."""
+
+from .common import (
+    PAPER_SPREDUCE,
+    TEST_SPREDUCE,
+    SpreduceSize,
+    build_input,
+    build_plan,
+    gbps,
+    serial_reduce,
+)
+from .ompss import run_ompss
+from .serial import run_serial
+
+__all__ = [
+    "SpreduceSize",
+    "PAPER_SPREDUCE",
+    "TEST_SPREDUCE",
+    "build_input",
+    "build_plan",
+    "serial_reduce",
+    "gbps",
+    "run_ompss",
+    "run_serial",
+]

@@ -1,0 +1,109 @@
+"""Shared pieces of the sparse/irregular segment-reduction application.
+
+The workload the dense paper apps never produce: an *irregular fan-in*
+graph.  A deterministic sparsity plan (seeded Mersenne Twister, part of
+the frozen size) assigns each output segment a ragged subset of input
+blocks with per-edge weights; gathering a segment is a chain of inout
+accumulations (one task per incident block), and a final fold reduces
+the segments into one accumulator — a long sequential inout spine fed by
+ragged parallel chains.  Segment gather chains are totally ordered by
+their inout dependences and the fold spine by its own, so every
+scheduler must produce the bit-identical float32 result the serial
+reference computes.
+
+This is the third installment of ROADMAP item 3 and the anchor for the
+dagfuzz ``irregular`` profile.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SpreduceSize", "build_input", "build_plan", "serial_reduce",
+           "gbps", "PAPER_SPREDUCE", "TEST_SPREDUCE"]
+
+
+@dataclass(frozen=True)
+class SpreduceSize:
+    """Problem size: nb input blocks of bs floats, reduced into
+    ``segments`` accumulators of seg_len floats each."""
+
+    nb: int          #: input blocks
+    bs: int          #: elements per input block
+    segments: int    #: output segments
+    seg_len: int     #: elements per segment accumulator
+    max_degree: int = 6   #: most blocks feeding one segment
+    seed: int = 7    #: sparsity-plan seed (part of the problem identity)
+
+    def __post_init__(self):
+        if self.nb < 1 or self.segments < 1:
+            raise ValueError("need at least one block and one segment")
+        if self.bs < self.seg_len:
+            raise ValueError("block size must be >= segment length")
+        if not 1 <= self.max_degree:
+            raise ValueError("max_degree must be >= 1")
+
+    @property
+    def input_elements(self) -> int:
+        return self.nb * self.bs
+
+    @property
+    def acc_elements(self) -> int:
+        return self.segments * self.seg_len
+
+    def plan_bytes(self) -> int:
+        """Bytes of input the gather phase touches (the metric basis)."""
+        return sum(len(blocks) for blocks in build_plan(self)) * self.bs * 4
+
+
+#: Benchmark size: a ragged graph wide enough for 4 GPUs / 8 nodes.
+PAPER_SPREDUCE = SpreduceSize(nb=256, bs=65536, segments=64, seg_len=4096,
+                              max_degree=12)
+#: Small functional-mode size for correctness tests.
+TEST_SPREDUCE = SpreduceSize(nb=12, bs=64, segments=8, seg_len=8,
+                             max_degree=5)
+
+
+def build_plan(size: SpreduceSize) -> "list[list[tuple[int, int]]]":
+    """The sparsity pattern: per segment, ``(block, weight)`` edges.
+
+    Weights are small integers so weighted sums stay exact in float32.
+    Deterministic in ``size`` alone — the plan *is* the problem.
+    """
+    rng = random.Random(size.seed)
+    plan = []
+    for _ in range(size.segments):
+        degree = rng.randint(1, min(size.max_degree, size.nb))
+        blocks = sorted(rng.sample(range(size.nb), degree))
+        plan.append([(b, rng.randint(1, 5)) for b in blocks])
+    return plan
+
+
+def build_input(size: SpreduceSize) -> np.ndarray:
+    """Deterministic input: small exact integers (weighted sums of these
+    stay exactly representable, so bit-identity never hides in rounding)."""
+    return ((np.arange(size.input_elements) * 7) % 23).astype(np.float32)
+
+
+def serial_reduce(size: SpreduceSize, x: np.ndarray
+                  ) -> "tuple[np.ndarray, np.ndarray]":
+    """Reference reduction — the *same* edge order as the OmpSs version
+    (per segment, edges in plan order; fold in segment order)."""
+    plan = build_plan(size)
+    acc = np.zeros(size.acc_elements, dtype=np.float32)
+    total = np.zeros(size.seg_len, dtype=np.float32)
+    for s, edges in enumerate(plan):
+        seg = acc[s * size.seg_len:(s + 1) * size.seg_len]
+        for b, w in edges:
+            blk = x[b * size.bs:(b + 1) * size.bs]
+            seg[:] = seg + blk[:size.seg_len] * np.float32(w)
+        total[:] = total + seg * np.float32(s % 3 + 1)
+    return acc, total
+
+
+def gbps(size: SpreduceSize, seconds: float) -> float:
+    """Headline metric: gather-phase input bandwidth, GB/s."""
+    return size.plan_bytes() / seconds / 1e9

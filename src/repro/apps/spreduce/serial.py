@@ -1,0 +1,17 @@
+"""Serial sparse reduction (the annotation starting point)."""
+
+from __future__ import annotations
+
+from ..base import AppResult
+from .common import SpreduceSize, build_input, serial_reduce
+
+__all__ = ["run_serial"]
+
+
+def run_serial(size: SpreduceSize) -> AppResult:
+    acc, total = serial_reduce(size, build_input(size))
+    return AppResult(
+        name="spreduce", version="serial", makespan=0.0, metric=0.0,
+        metric_unit="GB/s",
+        output={"acc": acc, "total": total},
+    )

@@ -22,6 +22,7 @@ from .report import render_table
 FIGURES = {f"fig{i}": getattr(figures, f"fig{i}") for i in range(5, 14)}
 FIGURES["fig-dm"] = figures.fig_datamove
 FIGURES["fig-sched"] = figures.fig_sched
+FIGURES["fig-irr"] = figures.fig_irr
 
 
 def print_table1() -> None:

@@ -21,9 +21,10 @@ from .harness import CLUSTER_BEST, FigureResult
 from .sweep import PointSpec, run_points
 
 __all__ = ["fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-           "fig12", "fig13", "fig_datamove", "fig_sched",
+           "fig12", "fig13", "fig_datamove", "fig_sched", "fig_irr",
            "MULTI_GPU_COUNTS", "CLUSTER_NODE_COUNTS", "DATAMOVE_FLAGS",
-           "DATAMOVE_POINTS", "SCHED_POLICIES", "SCHED_POINTS"]
+           "DATAMOVE_POINTS", "SCHED_POLICIES", "SCHED_POINTS",
+           "IRR_POINTS"]
 
 MULTI_GPU_COUNTS = (1, 2, 4)
 CLUSTER_NODE_COUNTS = (1, 2, 4, 8)
@@ -492,3 +493,66 @@ def fig13(n_bodies: int = 20_000, parallel: int = 0,
                           unit="GFLOP/s")
     return _assemble(result, fig13_points(n_bodies), parallel,
                      scheduler=scheduler)
+
+
+# ---------------------------------------------------------------------------
+# Figure IRR: the irregular apps (ROADMAP item 3) under every policy
+# ---------------------------------------------------------------------------
+
+IRR_POINTS = ("jacobi-mgpu", "jacobi-cluster",
+              "spreduce-mgpu", "spreduce-cluster")
+
+
+def _irr_base(point: str) -> dict:
+    from ..apps import jacobi, spreduce
+    app, machine = point.split("-")
+    size = (jacobi.PAPER_JACOBI if app == "jacobi"
+            else spreduce.PAPER_SPREDUCE)
+    if machine == "cluster":
+        cfg = {k: v for k, v in CLUSTER_BEST.items() if k != "scheduler"}
+        return dict(app=app, machine="cluster", count=4, size=size,
+                    cfg=dict(cfg, presend=2))
+    return dict(app=app, machine="multi_gpu", count=4, size=size,
+                cfg=dict(functional=False, overlap=True, prefetch=True))
+
+
+def fig_irr_points() -> "list[PointSpec]":
+    points = []
+    for policy in SCHED_POLICIES:
+        for point in IRR_POINTS:
+            base = _irr_base(point)
+            points.append(PointSpec(
+                figure="fig-irr", series=policy, x=point,
+                app=base["app"], machine=base["machine"],
+                count=base["count"], size=base["size"],
+                config=RuntimeConfig(**dict(base["cfg"],
+                                            scheduler=policy)),
+                want_metrics=(point == "spreduce-mgpu")))
+    return points
+
+
+def fig_irr(parallel: int = 0,
+            scheduler: "str | None" = None) -> FigureResult:
+    """Irregular workloads (Jacobi halo exchange, sparse reduction) under
+    every scheduling policy.
+
+    Series are makespans (lower is better).  ``scheduler`` is accepted
+    for CLI uniformity but ignored — this figure sweeps every policy.
+    """
+    result = FigureResult(figure="Figure IRR",
+                          title="Irregular apps, all scheduling policies",
+                          x_label="point", xs=list(IRR_POINTS),
+                          unit="s (makespan)")
+    points = fig_irr_points()
+    values = run_points(points, parallel=parallel)
+    for spec, val in zip(points, values):
+        result.series.setdefault(spec.series, []).append(val["makespan"])
+        if spec.want_metrics and val["metrics"]:
+            result.attach_metrics(f"{spec.series}/{spec.x}",
+                                  val["metrics"])
+    for i, point in enumerate(IRR_POINTS):
+        best = min(SCHED_POLICIES, key=lambda p: result.series[p][i])
+        result.notes.append(
+            f"{point}: best policy {best} "
+            f"{result.series[best][i]:.4f}s")
+    return result

@@ -94,9 +94,11 @@ class SweepPointError(RuntimeError):
 def _runner(app: str, version: str):
     # Imports live here (not module level) so a point process pays the
     # app-package import only for the app it actually runs.
-    from ..apps import cholesky, matmul, nbody, perlin, stream
+    from ..apps import (cholesky, jacobi, matmul, nbody, perlin, spreduce,
+                        stream)
     mod = {"matmul": matmul, "stream": stream,
-           "perlin": perlin, "nbody": nbody, "cholesky": cholesky}[app]
+           "perlin": perlin, "nbody": nbody, "cholesky": cholesky,
+           "jacobi": jacobi, "spreduce": spreduce}[app]
     return getattr(mod, f"run_{version}")
 
 

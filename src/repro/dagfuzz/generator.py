@@ -1,0 +1,118 @@
+"""Seed-deterministic workload generation.
+
+``generate(seed, profile)`` maps a ``(seed, profile)`` pair to one
+:class:`~repro.dagfuzz.spec.WorkloadSpec` using nothing but
+``random.Random(seed)`` (the Mersenne Twister is specified, so the same
+pair yields the same workload on every platform and Python version).
+
+Structural invariants the generator maintains (the runtime's contract):
+
+* every op's input/unused/output regions are distinct region ids drawn
+  from the spec's fixed disjoint tiling — equal-or-disjoint by design;
+* a decomposing parent's clause set covers the whole footprint of its
+  (recursive) children with inout accesses, so the top-level dependency
+  graph orders the parent+children unit against every sibling that
+  touches the same tiles (children only get a sibling-local graph);
+* children never carry ``wait_after`` (taskwaits are a main-generator
+  construct) and never nest deeper than ``profile.max_depth``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from .profiles import PROFILES, FuzzProfile
+from .spec import OpSpec, WorkloadSpec
+
+__all__ = ["generate"]
+
+
+def _draw_cost(rng: random.Random, lo: float, hi: float) -> float:
+    return math.exp(rng.uniform(math.log(lo), math.log(hi)))
+
+
+def _draw_regions(rng: random.Random, num_regions: int, recent: list,
+                  prof: FuzzProfile, nested: bool):
+    """Pick (out, ins, unused) distinct region ids for one op."""
+    out = rng.randrange(num_regions)
+    pool = [r for r in range(num_regions) if r != out]
+    n_in = rng.randint(0, min(prof.max_inputs, len(pool)))
+    ins: list = []
+    for _ in range(n_in):
+        recents = [r for r in recent if r in pool and r not in ins]
+        if recents and rng.random() < prof.p_reuse:
+            pick = rng.choice(recents)
+        else:
+            candidates = [r for r in pool if r not in ins]
+            pick = rng.choice(candidates)
+        ins.append(pick)
+    unused: tuple = ()
+    # Nested parents already over-declare their scope; an extra unused
+    # clause there would be indistinguishable, so keep them separate.
+    if not nested and rng.random() < prof.p_unused:
+        candidates = [r for r in pool if r not in ins]
+        if candidates:
+            unused = (rng.choice(candidates),)
+    return out, tuple(ins), unused
+
+
+def _make_op(rng: random.Random, num_regions: int, recent: list,
+             prof: FuzzProfile, depth: int, top_level: bool) -> OpSpec:
+    nested = (depth < prof.max_depth and prof.p_nested > 0
+              and rng.random() < prof.p_nested)
+    out, ins, unused = _draw_regions(rng, num_regions, recent, prof, nested)
+    children: tuple = ()
+    if nested:
+        n_children = rng.randint(*prof.children)
+        children = tuple(
+            _make_op(rng, num_regions, recent, prof, depth + 1,
+                     top_level=False)
+            for _ in range(n_children))
+    wait_after = None
+    if top_level:
+        roll = rng.random()
+        if roll < prof.p_wait_on:
+            wait_after = "on" if rng.random() < 0.5 else "on_noflush"
+        elif roll < prof.p_wait_on + prof.p_wait_all:
+            wait_after = ("all" if rng.random() < 0.5 else "all_noflush")
+    # Children always run smp: decomposition children execute on their
+    # parent's image with local workers (paper Section III.D.1 — "these
+    # local tasks will be executed by any thread that becomes available
+    # in the node"); a cuda child could need the very device its parent
+    # still occupies and deadlock a one-GPU node.
+    device = ("smp" if not top_level
+              else "cuda" if rng.random() < prof.p_cuda else "smp")
+    op = OpSpec(
+        out=out, ins=ins, seed=rng.randrange(1000),
+        device=device,
+        cost=_draw_cost(rng, *prof.cost),
+        inout=rng.random() < prof.p_inout,
+        unused=unused, children=children, wait_after=wait_after,
+    )
+    recent.append(out)
+    for child in children:
+        recent.append(child.out)
+    del recent[:-6]          # keep a short reuse window
+    return op
+
+
+def generate(seed: int, profile: "FuzzProfile | str" = "default"
+             ) -> WorkloadSpec:
+    """The workload for ``(seed, profile)`` — pure, deterministic."""
+    prof = PROFILES[profile] if isinstance(profile, str) else profile
+    rng = random.Random(seed)
+    num_objects = rng.randint(*prof.objects)
+    regions_per_object = tuple(rng.randint(*prof.regions_per_object)
+                               for _ in range(num_objects))
+    region_lens = tuple(rng.randint(*prof.region_len)
+                        for _ in range(num_objects))
+    num_regions = sum(regions_per_object)
+    recent: list = []
+    ops = tuple(_make_op(rng, num_regions, recent, prof, depth=0,
+                         top_level=True)
+                for _ in range(rng.randint(*prof.ops)))
+    return WorkloadSpec(num_objects=num_objects,
+                        regions_per_object=regions_per_object,
+                        region_lens=region_lens, ops=ops,
+                        seed=seed, profile=prof.name)

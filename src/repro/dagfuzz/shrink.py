@@ -1,0 +1,116 @@
+"""Greedy spec minimization: from a failing seed to a minimal reproducer.
+
+Classic delta debugging over the op list (ddmin: try dropping halves,
+then quarters, ... then single ops) followed by per-op structural
+simplifications (drop children, drop inputs, drop unused clauses, clear
+waits, cuda -> smp), iterated to a fixpoint.  The predicate — "does this
+candidate still fail?" — is re-evaluated from scratch on every candidate,
+so the result is guaranteed to still reproduce the failure; nothing about
+*why* the original failed is assumed.
+
+Every interpreter of a spec tolerates unreferenced regions and objects,
+so dropping ops never invalidates the region table.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .spec import OpSpec, WorkloadSpec, task_count
+
+__all__ = ["shrink", "shrink_trace"]
+
+
+def _with_ops(spec: WorkloadSpec, ops) -> WorkloadSpec:
+    return spec.replaced(ops=tuple(ops))
+
+
+def _ddmin_ops(spec: WorkloadSpec, failing) -> WorkloadSpec:
+    """Minimize the top-level op list (standard ddmin over sublists)."""
+    ops = list(spec.ops)
+    granularity = 2
+    while len(ops) >= 2:
+        chunk = max(1, len(ops) // granularity)
+        shrunk = False
+        start = 0
+        while start < len(ops):
+            candidate = ops[:start] + ops[start + chunk:]
+            if candidate and failing(_with_ops(spec, candidate)):
+                ops = candidate
+                shrunk = True          # stay at this granularity
+            else:
+                start += chunk
+        if shrunk:
+            granularity = max(granularity - 1, 2)
+        elif chunk == 1:
+            break
+        else:
+            granularity = min(granularity * 2, len(ops))
+    return _with_ops(spec, ops)
+
+
+def _op_simplifications(op: OpSpec):
+    """Strictly-simpler variants of one op, most aggressive first."""
+    if op.children:
+        yield _replace(op, children=())
+    if op.unused:
+        yield _replace(op, unused=())
+    for i in range(len(op.ins)):
+        yield _replace(op, ins=op.ins[:i] + op.ins[i + 1:])
+    if op.wait_after is not None:
+        yield _replace(op, wait_after=None)
+    if op.inout:
+        yield _replace(op, inout=False)
+    if op.device == "cuda":
+        yield _replace(op, device="smp")
+    for i, child in enumerate(op.children):
+        yield _replace(op, children=op.children[:i] + op.children[i + 1:])
+
+
+def _replace(op: OpSpec, **changes) -> OpSpec:
+    from dataclasses import replace
+    return replace(op, **changes)
+
+
+def _simplify_ops(spec: WorkloadSpec, failing) -> WorkloadSpec:
+    """One pass of per-op simplification; returns the improved spec."""
+    ops = list(spec.ops)
+    for i in range(len(ops)):
+        improved = True
+        while improved:
+            improved = False
+            for variant in _op_simplifications(ops[i]):
+                candidate = _with_ops(spec, ops[:i] + [variant]
+                                      + ops[i + 1:])
+                if failing(candidate):
+                    ops[i] = variant
+                    spec = candidate
+                    improved = True
+                    break
+    return spec
+
+
+def shrink(spec: WorkloadSpec,
+           failing: "Callable[[WorkloadSpec], bool]",
+           max_rounds: int = 8) -> WorkloadSpec:
+    """Smallest spec (by task count) that still satisfies ``failing``.
+
+    ``failing(spec)`` must be True for the input spec — shrinking a
+    passing spec is a caller bug and raises immediately.
+    """
+    if not failing(spec):
+        raise ValueError("shrink() needs a failing spec to start from")
+    for _ in range(max_rounds):
+        before = task_count(spec)
+        spec = _ddmin_ops(spec, failing)
+        spec = _simplify_ops(spec, failing)
+        if task_count(spec) >= before:
+            break
+    return spec
+
+
+def shrink_trace(spec: WorkloadSpec, failing, **kwargs):
+    """shrink() plus a (before, after) task-count pair for reporting."""
+    before = task_count(spec)
+    small = shrink(spec, failing, **kwargs)
+    return small, (before, task_count(small))

@@ -524,13 +524,28 @@ class Runtime:
 
     def _h_run_task(self, src: int, task: Task):
         """Control message: execute ``task`` on this image."""
-        image = self.images[task.node_index]
-        image.submit_local(task)
+        self._accept_dispatch(self.images[task.node_index], task)
 
     def _h_run_tasks(self, src: int, tasks: "list[Task]") -> None:
         """A coalesced control message: start several staged tasks."""
         for task in tasks:
-            self.images[task.node_index].submit_local(task)
+            self._accept_dispatch(self.images[task.node_index], task)
+
+    def _accept_dispatch(self, image: Image, task: Task) -> None:
+        """Enter a dispatched task into the target image's scheduler.
+
+        A dispatch can race a device loss: the master sent the task while
+        every worker on the target node that could run it was dying.  The
+        loss-time drains (blacklist / rebalance) can't see a task that is
+        still on the wire, so an arrival nobody accepts must bounce back
+        to the master or it would sit in the dead node's queue forever.
+        """
+        if (self.faults is not None and not image.is_master
+                and not any(w.accepts(task)
+                            for w in image.scheduler.workers)):
+            self.faults.return_to_master(task, image.node.index)
+            return
+        image.submit_local(task)
 
     def _h_task_done(self, src: int, task: Task, node_index: int) -> None:
         """Completion message arriving back at the master."""

@@ -1,0 +1,111 @@
+"""Functional correctness, golden makespans, and scheduler bit-identity
+for the Jacobi halo-exchange application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.jacobi import (
+    TEST_JACOBI,
+    JacobiSize,
+    build_grid,
+    jacobi_reference,
+    mcells,
+    run_ompss,
+    run_serial,
+)
+from repro.bench.harness import fresh_cluster, fresh_multi_gpu
+from repro.runtime import RuntimeConfig
+
+#: every scheduling policy, paper tier then adaptive tier.
+ALL_POLICIES = ("bf", "default", "affinity", "ws", "cp", "adaptive")
+
+_FUNC = dict(functional=True, overlap=True, prefetch=True)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return run_serial(TEST_JACOBI).output["grid"]
+
+
+def test_serial_sweep_has_stencil_shape():
+    size = TEST_JACOBI
+    grid = jacobi_reference(size, build_grid(size))
+    g = grid.reshape(size.n, size.n)
+    g0 = build_grid(size).reshape(size.n, size.n)
+    # Dirichlet boundary untouched, interior smoothed toward neighbours.
+    assert np.array_equal(g[0], g0[0]) and np.array_equal(g[-1], g0[-1])
+    assert np.array_equal(g[:, 0], g0[:, 0])
+    assert not np.array_equal(g[1:-1, 1:-1], g0[1:-1, 1:-1])
+    assert float(np.abs(g).max()) <= float(np.abs(g0).max()) + 1e-6
+
+
+def test_size_validation():
+    with pytest.raises(ValueError):
+        JacobiSize(n=100, nb=16, iters=1)     # n not a multiple of nb
+    with pytest.raises(ValueError):
+        JacobiSize(n=32, nb=16, iters=1)      # blocks thinner than 3 rows
+    with pytest.raises(ValueError):
+        JacobiSize(n=32, nb=1, iters=1)       # no halo to exchange
+    with pytest.raises(ValueError):
+        JacobiSize(n=32, nb=4, iters=0)
+    assert TEST_JACOBI.rows == 8
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES)
+def test_ompss_bit_identical_to_serial_under_every_policy(policy,
+                                                          reference):
+    cfg = RuntimeConfig(**_FUNC, scheduler=policy)
+    res = run_ompss(fresh_multi_gpu(2), TEST_JACOBI, config=cfg,
+                    verify=True)
+    # Each block's halo chain totally orders its reads against both
+    # neighbours' writes, so every schedule computes the same float32
+    # sweep, bit for bit.
+    assert np.array_equal(res.output["grid"], reference)
+
+
+@pytest.mark.parametrize("policy", ["affinity", "adaptive"])
+def test_ompss_cluster_bit_identical_to_serial(policy, reference):
+    cfg = RuntimeConfig(functional=True, cache_policy="wb",
+                        scheduler=policy, presend=2)
+    res = run_ompss(fresh_cluster(2), TEST_JACOBI, config=cfg,
+                    verify=True)
+    assert np.array_equal(res.output["grid"], reference)
+
+
+# Golden makespans: perf mode, 2 GPUs, overlap + prefetch.  Exact float
+# equality on purpose — any drift in the simulated timeline is a
+# regression (or an intentional change that must update these pins).
+GOLDEN_MGPU2 = {
+    "bf": 0.0013533067507157277,
+    "default": 0.0013418451769124787,
+    "affinity": 0.0013533067507157277,
+}
+
+GOLDEN_CLUSTER2_AFFINITY = 0.001602416897818976
+
+
+@pytest.mark.parametrize("policy,expected", sorted(GOLDEN_MGPU2.items()))
+def test_golden_makespan_multi_gpu(policy, expected):
+    cfg = RuntimeConfig(functional=False, overlap=True, prefetch=True,
+                        scheduler=policy)
+    res = run_ompss(fresh_multi_gpu(2), TEST_JACOBI, config=cfg)
+    assert res.makespan == expected
+    assert res.metric == pytest.approx(mcells(TEST_JACOBI, expected))
+
+
+def test_golden_makespan_cluster():
+    cfg = RuntimeConfig(functional=False, cache_policy="wb",
+                        scheduler="affinity", overlap=True, prefetch=True,
+                        presend=2)
+    res = run_ompss(fresh_cluster(2), TEST_JACOBI, config=cfg)
+    assert res.makespan == GOLDEN_CLUSTER2_AFFINITY
+
+
+def test_makespan_reproducible():
+    cfg = dict(functional=False, cache_policy="wb", scheduler="ws",
+               presend=2)
+    a = run_ompss(fresh_cluster(2), TEST_JACOBI,
+                  config=RuntimeConfig(**cfg))
+    b = run_ompss(fresh_cluster(2), TEST_JACOBI,
+                  config=RuntimeConfig(**cfg))
+    assert a.makespan == b.makespan

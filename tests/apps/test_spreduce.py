@@ -1,0 +1,125 @@
+"""Functional correctness, golden makespans, and scheduler bit-identity
+for the sparse/irregular segment reduction."""
+
+import numpy as np
+import pytest
+
+from repro.apps.spreduce import (
+    TEST_SPREDUCE,
+    SpreduceSize,
+    build_input,
+    build_plan,
+    run_ompss,
+    run_serial,
+    serial_reduce,
+)
+from repro.bench.harness import fresh_cluster, fresh_multi_gpu
+from repro.runtime import RuntimeConfig
+
+#: every scheduling policy, paper tier then adaptive tier.
+ALL_POLICIES = ("bf", "default", "affinity", "ws", "cp", "adaptive")
+
+_FUNC = dict(functional=True, overlap=True, prefetch=True)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    out = run_serial(TEST_SPREDUCE).output
+    return out["acc"], out["total"]
+
+
+def test_plan_is_deterministic_and_ragged():
+    plan = build_plan(TEST_SPREDUCE)
+    assert plan == build_plan(TEST_SPREDUCE)
+    assert len(plan) == TEST_SPREDUCE.segments
+    degrees = [len(edges) for edges in plan]
+    assert all(1 <= d <= TEST_SPREDUCE.max_degree for d in degrees)
+    assert len(set(degrees)) > 1               # genuinely irregular fan-in
+    for edges in plan:
+        blocks = [b for b, _ in edges]
+        assert blocks == sorted(blocks)
+        assert all(0 <= b < TEST_SPREDUCE.nb for b in blocks)
+        assert all(1 <= w <= 5 for _, w in edges)
+
+
+def test_serial_reduce_matches_direct_sum():
+    size = TEST_SPREDUCE
+    x = build_input(size)
+    acc, total = serial_reduce(size, x)
+    for s, edges in enumerate(build_plan(size)):
+        seg = np.zeros(size.seg_len, dtype=np.float32)
+        for b, w in edges:
+            blk = x[b * size.bs:b * size.bs + size.seg_len]
+            seg = (seg + blk * np.float32(w)).astype(np.float32)
+        assert np.array_equal(
+            acc[s * size.seg_len:(s + 1) * size.seg_len], seg)
+
+
+def test_size_validation():
+    with pytest.raises(ValueError):
+        SpreduceSize(nb=4, bs=4, segments=2, seg_len=8)  # bs < seg_len
+    with pytest.raises(ValueError):
+        SpreduceSize(nb=4, bs=64, segments=2, seg_len=8, max_degree=0)
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES)
+def test_ompss_bit_identical_to_serial_under_every_policy(policy,
+                                                          reference):
+    acc_ref, total_ref = reference
+    cfg = RuntimeConfig(**_FUNC, scheduler=policy)
+    res = run_ompss(fresh_multi_gpu(2), TEST_SPREDUCE, config=cfg,
+                    verify=True)
+    # Every segment's gather chain and the fold spine are totally ordered
+    # by their inout dependences, so the ragged graph stresses placement
+    # and stealing while the numbers stay bit-identical.
+    assert np.array_equal(res.output["acc"], acc_ref)
+    assert np.array_equal(res.output["total"], total_ref)
+
+
+@pytest.mark.parametrize("policy", ["affinity", "adaptive"])
+def test_ompss_cluster_bit_identical_to_serial(policy, reference):
+    acc_ref, total_ref = reference
+    cfg = RuntimeConfig(functional=True, cache_policy="wb",
+                        scheduler=policy, presend=2)
+    res = run_ompss(fresh_cluster(2), TEST_SPREDUCE, config=cfg,
+                    verify=True)
+    assert np.array_equal(res.output["acc"], acc_ref)
+    assert np.array_equal(res.output["total"], total_ref)
+
+
+# Golden makespans: perf mode, 2 GPUs, overlap + prefetch.  Exact float
+# equality on purpose — any drift in the simulated timeline is a
+# regression (or an intentional change that must update these pins).
+GOLDEN_MGPU2 = {
+    "bf": 0.00309660333831753,
+    "default": 0.0029106193767141097,
+    "affinity": 0.002954560892899616,
+}
+
+GOLDEN_CLUSTER2_AFFINITY = 0.0032452743647873095
+
+
+@pytest.mark.parametrize("policy,expected", sorted(GOLDEN_MGPU2.items()))
+def test_golden_makespan_multi_gpu(policy, expected):
+    cfg = RuntimeConfig(functional=False, overlap=True, prefetch=True,
+                        scheduler=policy)
+    res = run_ompss(fresh_multi_gpu(2), TEST_SPREDUCE, config=cfg)
+    assert res.makespan == expected
+
+
+def test_golden_makespan_cluster():
+    cfg = RuntimeConfig(functional=False, cache_policy="wb",
+                        scheduler="affinity", overlap=True, prefetch=True,
+                        presend=2)
+    res = run_ompss(fresh_cluster(2), TEST_SPREDUCE, config=cfg)
+    assert res.makespan == GOLDEN_CLUSTER2_AFFINITY
+
+
+def test_makespan_reproducible():
+    cfg = dict(functional=False, cache_policy="wb", scheduler="cp",
+               presend=2)
+    a = run_ompss(fresh_cluster(2), TEST_SPREDUCE,
+                  config=RuntimeConfig(**cfg))
+    b = run_ompss(fresh_cluster(2), TEST_SPREDUCE,
+                  config=RuntimeConfig(**cfg))
+    assert a.makespan == b.makespan

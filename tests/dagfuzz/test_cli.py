@@ -1,0 +1,75 @@
+"""The ``python -m repro.dagfuzz`` driver: exit codes, replay, shrinking.
+
+The CLI is the CI surface (the ``fuzz-smoke`` job) — its exit code and
+its one-line replay command are load-bearing, so both are pinned here.
+"""
+
+import pytest
+
+from repro.dagfuzz.cli import main, replay_command
+
+
+def test_clean_sweep_exits_zero(capsys):
+    rc = main(["--seeds", "0:3", "--schedulers", "default,cp"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "0 failure(s)" in out and "3 seed(s)" in out
+
+
+def test_replay_single_seed(capsys):
+    rc = main(["--replay", "5", "--profile", "deep", "--schedulers", "ws",
+               "--cache-policies", "wb", "--machines", "gpu2"])
+    assert rc == 0
+    assert "1 run(s)" in capsys.readouterr().out
+
+
+def test_list_profiles(capsys):
+    assert main(["--list-profiles"]) == 0
+    out = capsys.readouterr().out
+    for name in ("default", "wide", "deep", "nested", "irregular", "clean"):
+        assert name in out
+
+
+def test_bad_arguments_are_rejected():
+    with pytest.raises(SystemExit):
+        main(["--schedulers", "no-such-policy"])
+    with pytest.raises(SystemExit):
+        main(["--seeds", "banana"])
+    with pytest.raises(SystemExit):
+        main(["--profile", "no-such-profile"])
+
+
+def test_mutated_sweep_fails_with_replay_and_shrink(capsys):
+    rc = main(["--seeds", "0:6", "--profile", "default",
+               "--schedulers", "default", "--cache-policies", "wb",
+               "--machines", "gpu2", "--mutate", "drop_arc"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "FAIL" in out and "mutate=drop_arc" in out
+    assert "replay: python -m repro.dagfuzz --replay" in out
+    assert "shrunk first failure:" in out
+    assert "op0:" in out                      # the minimized ops are shown
+
+
+def test_no_shrink_skips_minimization(capsys):
+    rc = main(["--seeds", "0:1", "--schedulers", "default",
+               "--cache-policies", "wb", "--machines", "gpu2",
+               "--mutate", "stale_cache_read", "--no-shrink"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "shrunk" not in out
+
+
+def test_replay_command_round_trips(capsys):
+    cmd = replay_command(9, "wide", "affinity", "wt", "gpu4", "off")
+    argv = cmd.split()[3:]                    # strip "python -m repro.dagfuzz"
+    assert argv[:2] == ["--replay", "9"]
+    assert main(argv) == 0
+    assert "1 run(s)" in capsys.readouterr().out
+
+
+def test_replay_command_carries_mutation():
+    cmd = replay_command(3, "deep", "cp", "wb", "gpu2", "on",
+                         mutate="skip_writeback")
+    assert cmd.endswith("--mutate skip_writeback")
+    assert "--datamove on" in cmd

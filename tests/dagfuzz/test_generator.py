@@ -1,0 +1,97 @@
+"""Generator-level properties: determinism, spec validity, profile reach.
+
+The fuzzer's whole value rests on ``generate(seed, profile)`` being a
+pure function of its arguments — the replay command and the shrinker
+both assume a seed reproduces the exact workload that failed.
+"""
+
+import pytest
+
+from repro.dagfuzz import PROFILES, OpSpec, generate, task_count
+from repro.dagfuzz.profiles import FuzzProfile
+from repro.dagfuzz.spec import WorkloadSpec
+
+
+@pytest.mark.parametrize("profile", sorted(PROFILES))
+def test_generate_is_deterministic(profile):
+    for seed in (0, 1, 17, 4096):
+        assert generate(seed, profile) == generate(seed, profile)
+
+
+def test_different_seeds_differ():
+    specs = {generate(seed, "default") for seed in range(20)}
+    assert len(specs) == 20
+
+
+def test_generate_accepts_profile_object():
+    prof = PROFILES["default"]
+    assert generate(3, prof) == generate(3, "default")
+    with pytest.raises((KeyError, ValueError)):
+        generate(0, "no-such-profile")
+
+
+@pytest.mark.parametrize("profile", sorted(PROFILES))
+def test_generated_specs_are_well_formed(profile):
+    prof = PROFILES[profile]
+    for seed in range(25):
+        spec = generate(seed, profile)
+        table = spec.regions()
+        assert len(table) == spec.num_regions
+
+        def walk(op, depth):
+            assert 0 <= op.out < spec.num_regions
+            assert op.out not in op.ins and op.out not in op.unused
+            assert len(set(op.ins)) == len(op.ins)
+            assert prof.cost[0] <= op.cost <= prof.cost[1]
+            if depth > 0:
+                # Nested children must be smp: a cuda child contending
+                # for the GPU its parent occupies deadlocks gpu1.
+                assert op.device == "smp"
+            for child in op.children:
+                walk(child, depth + 1)
+
+        for op in spec.ops:
+            walk(op, 0)
+
+
+def test_profiles_hit_their_features():
+    """Each named profile actually produces what it advertises."""
+    def any_spec(profile, pred):
+        return any(pred(generate(seed, profile)) for seed in range(40))
+
+    assert any_spec("nested", lambda s: any(op.children for op in s.ops))
+    assert any_spec("default", lambda s: any(op.wait_after for op in s.ops))
+    assert any_spec("irregular", lambda s: any(op.inout for op in s.ops))
+    assert any_spec("irregular", lambda s: any(op.unused for op in s.ops))
+    assert any_spec("wide", lambda s: len(s.ops) > PROFILES["default"].ops[1])
+    # The sanitizer baseline never emits the clauses that trigger findings.
+    for seed in range(40):
+        spec = generate(seed, "clean")
+        assert all(not op.unused and not op.children
+                   for op in spec._walk())
+
+
+def test_task_count_counts_nested_tasks():
+    child = OpSpec(out=1, seed=1)
+    parent = OpSpec(out=0, seed=0, children=(child,))
+    spec = WorkloadSpec(num_objects=1, regions_per_object=(2,),
+                        region_lens=(8,), ops=(parent,),
+                        seed=0, profile="default")
+    assert task_count(spec) == 2
+    assert task_count([parent, OpSpec(out=1, seed=2)]) == 3
+
+
+def test_opspec_validation():
+    with pytest.raises(ValueError):
+        OpSpec(out=0, ins=(0,), seed=1)          # out aliases an input
+    with pytest.raises(ValueError):
+        OpSpec(out=0, unused=(0,), seed=1)       # out aliases unused
+    with pytest.raises(ValueError):
+        OpSpec(out=0, ins=(1, 1), seed=1)        # duplicate input
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        FuzzProfile(name="bad", cost=(0.0, 1.0))
+    with pytest.raises(ValueError):
+        FuzzProfile(name="bad", ops=(5, 2))

@@ -63,6 +63,12 @@ def test_schedulers_snippets_run(i, capsys):
     exec(compile(code, f"SCHEDULERS.md[block {i}]", "exec"), {})
 
 
+@pytest.mark.parametrize("i", range(len(python_blocks("DAGFUZZ.md"))))
+def test_dagfuzz_snippets_run(i, capsys):
+    code = python_blocks("DAGFUZZ.md")[i]
+    exec(compile(code, f"DAGFUZZ.md[block {i}]", "exec"), {})
+
+
 def test_docs_readme_links_resolve():
     """docs/README.md is the index — every link target must exist."""
     text = (DOCS / "README.md").read_text()

@@ -1,122 +1,51 @@
 """Property test: the runtime is sequentially consistent end-to-end.
 
-Hypothesis generates random task DAGs (random regions, directions, devices)
-and random runtime configurations (cache policy x scheduler x machine x
-optimizations).  Executing the workload through the full stack — graph,
-scheduler, coherence, caches, transfers — must produce exactly the state a
+Hypothesis draws whole fuzzed workloads from :mod:`repro.dagfuzz` —
+deep chains, wide fans, ragged tilings, inout/unused clauses, nested
+decomposing tasks and mid-stream taskwaits — plus random runtime
+configurations (cache policy x scheduler x datamove flags x machine).
+Executing the workload through the full stack — graph, scheduler,
+coherence, caches, transfers — must produce exactly the state a
 sequential interpretation of the submission order produces.  This is the
 strongest single statement about the reproduction's correctness: any
 coherence, ordering or scheduling bug shows up as wrong numbers.
+
+Hypothesis shrinks the *seed and profile* (a workload is a pure function
+of both, see ``repro.dagfuzz.generator``); structural minimization of a
+failing workload is the dagfuzz shrinker's job — the assertion message
+carries the one-line replay command for it.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cuda import KernelSpec
-from repro.hardware import build_gpu_cluster, build_multi_gpu_node
-from repro.runtime import Access, Direction, Runtime, RuntimeConfig, Task
-from repro.sim import Environment
-
-NUM_OBJECTS = 3
-REGIONS_PER_OBJECT = 2
-REGION_LEN = 8
-
-
-def _mutate(value_seed):
-    """A deterministic, order-sensitive update: buf = 2*buf + seed."""
-    def body(*buffers):
-        *inputs, out = buffers
-        acc = np.zeros_like(out)
-        for buf in inputs:
-            acc += buf
-        out[:] = 2.0 * acc + value_seed
-    return body
-
-
-op_strategy = st.tuples(
-    st.integers(0, NUM_OBJECTS * REGIONS_PER_OBJECT - 1),   # output region
-    st.lists(st.integers(0, NUM_OBJECTS * REGIONS_PER_OBJECT - 1),
-             min_size=0, max_size=2, unique=True),          # input regions
-    st.integers(0, 9),                                      # value seed
-    st.booleans(),                                          # cuda?
+from repro.dagfuzz import expected_arrays, run_workload
+from repro.dagfuzz.cli import replay_command
+from repro.dagfuzz.strategies import (
+    machine_names,
+    runtime_config_kwargs,
+    workload_specs,
 )
-
-config_strategy = st.fixed_dictionaries({
-    "cache_policy": st.sampled_from(["nocache", "wt", "wb"]),
-    "scheduler": st.sampled_from(["bf", "default", "affinity",
-                                  "ws", "cp", "adaptive"]),
-    "overlap": st.booleans(),
-    "prefetch": st.booleans(),
-})
-
-machine_strategy = st.sampled_from(["gpu1", "gpu2", "gpu4", "cluster2"])
+from repro.runtime import RuntimeConfig
+from repro.sim import Environment  # noqa: F401  (re-exported for helpers)
 
 
 @settings(max_examples=40, deadline=None)
-@given(ops=st.lists(op_strategy, min_size=1, max_size=12),
-       cfg=config_strategy, machine=machine_strategy)
-def test_runtime_matches_sequential_reference(ops, cfg, machine):
-    env = Environment()
-    if machine == "cluster2":
-        m = build_gpu_cluster(env, num_nodes=2)
-    else:
-        m = build_multi_gpu_node(env, num_gpus=int(machine[3:]))
-    rt = Runtime(m, RuntimeConfig(functional=True, **cfg))
-
-    objects = [rt.register_array(f"o{i}", REGIONS_PER_OBJECT * REGION_LEN,
-                                 initial=np.full(
-                                     REGIONS_PER_OBJECT * REGION_LEN,
-                                     float(i + 1), dtype=np.float32))
-               for i in range(NUM_OBJECTS)]
-
-    def region(idx):
-        obj = objects[idx // REGIONS_PER_OBJECT]
-        start = (idx % REGIONS_PER_OBJECT) * REGION_LEN
-        return obj.region(start, REGION_LEN)
-
-    # Sequential reference state.
-    ref = {i: np.full(REGION_LEN, float(i // REGIONS_PER_OBJECT + 1),
-                      dtype=np.float32)
-           for i in range(NUM_OBJECTS * REGIONS_PER_OBJECT)}
-
-    tasks = []
-    for out_idx, in_idxs, seed, use_cuda in ops:
-        in_idxs = [i for i in in_idxs if i != out_idx]
-        body = _mutate(float(seed))
-        regions = [region(i) for i in in_idxs] + [region(out_idx)]
-        accesses = tuple(Access(region(i), Direction.IN) for i in in_idxs) \
-            + (Access(region(out_idx), Direction.OUT),)
-        if use_cuda:
-            t = Task(name=f"t{len(tasks)}", device="cuda",
-                     kernel=KernelSpec(name=f"k{len(tasks)}",
-                                       cost=lambda spec: 1e-6, func=body),
-                     accesses=accesses, args=tuple(regions))
-        else:
-            t = Task(name=f"t{len(tasks)}", device="smp", smp_cost=1e-6,
-                     func=body, accesses=accesses, args=tuple(regions))
-        tasks.append(t)
-        # Apply to the sequential reference in submission order.
-        acc = np.zeros(REGION_LEN, dtype=np.float32)
-        for i in in_idxs:
-            acc += ref[i]
-        ref[out_idx] = 2.0 * acc + float(seed)
-
-    def main():
-        for t in tasks:
-            rt.submit(t)
-        yield from rt.taskwait()
-
-    rt.run_main(main())
-
-    for idx in range(NUM_OBJECTS * REGIONS_PER_OBJECT):
-        r = region(idx)
-        got = rt.master_host.read(r)
-        np.testing.assert_allclose(
-            got, ref[idx], rtol=1e-5,
-            err_msg=(f"region {idx} diverged under {cfg} on {machine}"),
-        )
+@given(spec=workload_specs(), cfg=runtime_config_kwargs(),
+       machine=machine_names())
+def test_runtime_matches_sequential_reference(spec, cfg, machine):
+    outputs = run_workload(spec, machine=machine,
+                           config=RuntimeConfig(functional=True, **cfg))[0]
+    expected = expected_arrays(spec)
+    replay = replay_command(spec.seed, spec.profile, cfg["scheduler"],
+                            cfg["cache_policy"], machine, "off")
+    for info in spec.regions():
+        got = outputs[info.rid]
+        assert np.array_equal(got, expected[info.rid]), (
+            f"region {info.rid} (o{info.obj_index}"
+            f"[{info.start}:{info.start + info.length}]) diverged under "
+            f"{cfg} on {machine}; shrink it with: {replay}")
 
 
 # ---------------------------------------------------------------------------
@@ -132,6 +61,7 @@ def test_adaptive_tier_bit_identical_to_default(nt, bs, machine):
     *bit-identical* float32 factorization — reordering ready tasks can
     change the timeline, never the numbers."""
     from repro.apps import cholesky
+    from repro.hardware import build_gpu_cluster, build_multi_gpu_node
 
     size = cholesky.CholeskySize(n=nt * bs, bs=bs)
 

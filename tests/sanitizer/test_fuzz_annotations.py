@@ -1,0 +1,55 @@
+"""Sanitizer x fuzzing: clean fuzzed DAGs stay clean, planted lies don't.
+
+Two directions, both exact: well-annotated workloads from the ``clean``
+profile must produce *zero* findings under every scheduler (no false
+positives at fuzzing scale), and each deliberate mis-annotation mode
+from :func:`repro.dagfuzz.misannotate` must produce *exactly* its
+planted finding (no false negatives, no collateral noise — the planted
+op lives on a fresh private object).
+"""
+
+import pytest
+
+from repro.dagfuzz import MISANNOTATIONS, generate, misannotate
+from repro.dagfuzz.runner import run_workload
+from repro.runtime import RuntimeConfig
+from repro.runtime.config import SCHEDULERS
+from repro.sanitizer import Sanitizer
+
+_CFG = RuntimeConfig(functional=True)
+
+
+def _findings(spec, config=_CFG, machine="gpu2"):
+    san = Sanitizer()
+    run_workload(spec, machine=machine, config=config, sanitizer=san)
+    return {(f.kind, f.task, f.obj) for f in san.findings()}
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_clean_profile_has_zero_findings(scheduler):
+    cfg = RuntimeConfig(functional=True, scheduler=scheduler)
+    for seed in range(5):
+        spec = generate(seed, "clean")
+        assert _findings(spec, config=cfg) == set(), \
+            f"false positive on clean seed {seed} under {scheduler}"
+
+
+def test_clean_profile_is_clean_on_cluster():
+    for seed in range(3):
+        spec = generate(seed, "clean")
+        assert _findings(spec, machine="cluster2") == set()
+
+
+@pytest.mark.parametrize("mode,kind", sorted(MISANNOTATIONS.items()))
+def test_misannotation_yields_exactly_the_planted_finding(mode, kind):
+    for seed in range(3):
+        spec = misannotate(generate(seed, "clean"), mode)
+        planted_task = f"t{len(spec.ops) - 1}"
+        planted_obj = f"o{spec.num_objects - 1}"
+        assert _findings(spec) == {(kind, planted_task, planted_obj)}, \
+            f"seed {seed} mode {mode}"
+
+
+def test_misannotate_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        misannotate(generate(0, "clean"), "no-such-mode")
