@@ -9,14 +9,17 @@ either in-process (serial, the default) or on a process pool.
 Isolation and determinism
 -------------------------
 The pool uses the ``fork`` start method, and each worker forks one more
-time per point: the point simulation runs in a **fresh copy-on-write child
-forked before any point has executed**, so module-level counters (stream
-ids, cache use clocks) are identical for every point and one point can
-never observe another's state.  A simulation is itself deterministic given
-its spec, so a sweep's output is bit-identical whatever ``parallel`` is —
-``tests/bench/test_sweep.py`` pins serial vs parallel equality.  (Fork
-also means workers never re-import ``__main__``, unlike spawn/forkserver,
-so the runner is safe to call from scripts, pytest, and the REPL alike.)
+time per point (via :func:`repro.service.isolation.call_isolated` — the
+same fork/pipe/waitpid implementation behind the service's
+:class:`~repro.service.backends.PoolBackend`): the point simulation runs
+in a **fresh copy-on-write child forked before any point has executed**,
+so module-level counters (stream ids, cache use clocks) are identical for
+every point and one point can never observe another's state.  A
+simulation is itself deterministic given its spec, so a sweep's output is
+bit-identical whatever ``parallel`` is — ``tests/bench/test_sweep.py``
+pins serial vs parallel equality.  (Fork also means workers never
+re-import ``__main__``, unlike spawn/forkserver, so the runner is safe to
+call from scripts, pytest, and the REPL alike.)
 
 Crash surfacing
 ---------------
@@ -36,13 +39,12 @@ from __future__ import annotations
 
 import concurrent.futures
 import multiprocessing
-import os
-import pickle
 import traceback
 from dataclasses import dataclass, field
 from typing import Optional
 
 from ..runtime.config import RuntimeConfig
+from ..service.isolation import ChildCrash, ChildError, call_isolated
 
 __all__ = ["PointSpec", "SweepPointError", "run_point", "run_points"]
 
@@ -133,35 +135,21 @@ def _run_isolated(spec: PointSpec) -> dict:
 
     The child inherits the worker's pristine (pre-sweep) state, computes
     the point, pickles the outcome down a pipe and ``_exit``\\ s without
-    touching the worker.  EOF on the pipe without a payload means the
-    child died mid-run — that is the crash-surfacing path.
+    touching the worker (the shared fork-isolation implementation in
+    :mod:`repro.service.isolation`).  A child that raises or dies mid-run
+    surfaces as :class:`SweepPointError` naming the point.  ``run_point``
+    is resolved through the module at call time, so tests can monkeypatch
+    it before the pool forks.
     """
-    rfd, wfd = os.pipe()
-    pid = os.fork()
-    if pid == 0:                                  # the point process
-        status = 1
-        try:
-            os.close(rfd)
-            try:
-                payload = pickle.dumps(("ok", run_point(spec)))
-            except BaseException:  # noqa: BLE001 - reported to the parent
-                payload = pickle.dumps(("err", traceback.format_exc()))
-            with os.fdopen(wfd, "wb") as fh:
-                fh.write(payload)
-            status = 0
-        finally:
-            os._exit(status)                      # never re-enter the pool
-    os.close(wfd)
-    with os.fdopen(rfd, "rb") as fh:
-        data = fh.read()
-    _, wait_status = os.waitpid(pid, 0)
-    if not data:
+    try:
+        return call_isolated(run_point, spec)
+    except ChildCrash as exc:
         raise SweepPointError(
-            spec, f"point process died (wait status {wait_status:#x})")
-    kind, value = pickle.loads(data)
-    if kind == "err":
-        raise SweepPointError(spec, f"\n{value}")
-    return value
+            spec,
+            f"point process died (wait status {exc.wait_status:#x})"
+        ) from None
+    except ChildError as exc:
+        raise SweepPointError(spec, f"\n{exc.traceback}") from None
 
 
 def run_points(specs: "list[PointSpec]", parallel: int = 0,

@@ -189,7 +189,13 @@ class Runtime:
         self.env: Environment = machine.env
         self.config = config or RuntimeConfig()
         self.kernel_registry = kernel_registry or KernelRegistry()
-        #: optional Tracer recording task/transfer/message spans.
+        #: optional Tracer recording task/transfer/message spans.  Picked
+        #: up from ``repro.runtime.trace.install()`` when not passed
+        #: explicitly (the same pattern the sanitizer uses below): span
+        #: recording is passive, so traced runs keep identical timestamps.
+        if tracer is None:
+            from .trace import current_tracer
+            tracer = current_tracer()
         self.tracer = tracer
         #: counter registry every subsystem reports into; scoped timers use
         #: the simulation clock.  Always present (recording is cheap); pass

@@ -31,10 +31,12 @@ In a real run the runtime records the spans: build the runtime as
 from __future__ import annotations
 
 import json
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-__all__ = ["Tracer", "TraceEvent", "CATEGORIES"]
+__all__ = ["Tracer", "TraceEvent", "CATEGORIES", "current_tracer",
+           "install"]
 
 #: Span categories recorded by the instrumented runtime.
 CATEGORIES = ("task", "kernel", "transfer", "message", "stage", "fault",
@@ -187,3 +189,41 @@ class Tracer:
         if metrics is not None:
             doc["otherData"] = {"metrics": metrics}
         return json.dumps(doc, indent=1)
+
+
+# ----------------------------------------------------------------------
+# Installation (how a Runtime built elsewhere finds the active tracer)
+# ----------------------------------------------------------------------
+_ACTIVE: "list[Tracer]" = []
+
+
+def current_tracer() -> "Tracer | None":
+    """The innermost installed tracer, or None."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def install(tracer: "Tracer | None" = None):
+    """Context manager: runtimes built inside record into the tracer.
+
+    Mirrors :func:`repro.sanitizer.install` — app entry points construct
+    their own ``Program``/``Runtime``, so callers that cannot pass
+    ``tracer=`` through (the service runner, scripts wrapping an app)
+    install one around the call instead::
+
+        from repro.runtime import trace
+
+        with trace.install() as tracer:
+            run_ompss(machine, size, config=config)
+        chrome_json = tracer.to_chrome()
+
+    Recording is passive (spans are appended after the fact, never
+    scheduled), so a traced run's simulated timestamps are bit-identical
+    to an untraced one.
+    """
+    t = tracer if tracer is not None else Tracer()
+    _ACTIVE.append(t)
+    try:
+        yield t
+    finally:
+        _ACTIVE.remove(t)

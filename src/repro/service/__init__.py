@@ -1,0 +1,55 @@
+"""Simulation-as-a-service: async job API over pluggable backends.
+
+One blocking :class:`~repro.api.Program` invocation serves one caller;
+this package serves many.  A caller describes a run declaratively as a
+:class:`JobRequest` (app + problem size, hardware shape, runtime
+configuration, optional fault plan and sanitizer), submits it to a
+:class:`Service` and gets a job id back immediately.  The service queues
+requests with priorities and per-tenant weighted fair scheduling
+(:class:`JobQueue`), routes each to an execution backend by resource
+shape (:class:`Picker`), runs it on an in-process or fork-isolated
+multiprocess backend (:mod:`repro.service.backends`), and stages the
+outcome as an artifact bundle — metrics snapshot, Chrome trace,
+sanitizer findings, captured stdout — in a per-job directory
+(:class:`StagingDir`).
+
+Layers (docs/SERVICE.md is the guide):
+
+* :mod:`repro.service.job`       — ``JobRequest`` / ``JobResult`` / ``JobState``;
+* :mod:`repro.service.staging`   — the per-job artifact bundle on disk;
+* :mod:`repro.service.runner`    — the "run request → result payload" seam;
+* :mod:`repro.service.isolation` — the one fork/pipe/waitpid implementation
+  (shared with the figure-sweep runner in :mod:`repro.bench.sweep`);
+* :mod:`repro.service.queue`     — priorities + weighted fair queueing;
+* :mod:`repro.service.picker`    — request → backend-pool routing;
+* :mod:`repro.service.backends`  — ``AbstractBackend`` and the eager /
+  process-pool implementations;
+* :mod:`repro.service.api`       — the :class:`Service` submit/poll/
+  stream/fetch façade;
+* ``python -m repro.service``    — submit / status / artifacts / worker /
+  demo from the command line.
+"""
+
+from .api import Service
+from .backends import AbstractBackend, EagerBackend, PoolBackend
+from .job import JobRequest, JobResult, JobState
+from .picker import Picker, Route
+from .queue import JobQueue
+from .runner import execute_request
+from .staging import ARTIFACTS, StagingDir
+
+__all__ = [
+    "Service",
+    "JobRequest",
+    "JobResult",
+    "JobState",
+    "JobQueue",
+    "Picker",
+    "Route",
+    "AbstractBackend",
+    "EagerBackend",
+    "PoolBackend",
+    "StagingDir",
+    "ARTIFACTS",
+    "execute_request",
+]

@@ -1,0 +1,90 @@
+"""Fork-isolated function calls: one fork/pipe/waitpid implementation.
+
+Two consumers execute simulation work in a **freshly forked child** so
+module-level counters (stream ids, cache use clocks) are pristine for
+every run and a crash can never take the caller down: the figure-sweep
+runner (:mod:`repro.bench.sweep`) and the service process-pool backend
+(:mod:`repro.service.backends`).  Both call :func:`call_isolated`; the
+child inherits the caller's current state copy-on-write, computes
+``fn(*args)``, pickles the outcome down a pipe and ``_exit``\\ s without
+ever returning into the caller's frames.
+
+Failure taxonomy — the part both consumers must surface loudly:
+
+* the callable **raised**: the child reports the formatted traceback and
+  the caller re-raises it as :class:`ChildError`;
+* the child **died** (segfault, ``os._exit``, OOM-kill): detected as pipe
+  EOF without a payload, surfaced as :class:`ChildCrash` carrying the
+  ``waitpid`` status — never a hang.
+
+Both exception types pickle cleanly (custom ``__reduce__``), because the
+service pool raises them inside ``ProcessPoolExecutor`` workers and they
+must cross a second process boundary intact.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import traceback
+
+__all__ = ["ChildCrash", "ChildError", "call_isolated"]
+
+
+class ChildCrash(RuntimeError):
+    """The isolated child died without reporting an outcome."""
+
+    def __init__(self, wait_status: int):
+        super().__init__(
+            f"isolated child died (wait status {wait_status:#x})")
+        self.wait_status = wait_status
+
+    def __reduce__(self):
+        # Default exception reduce would replay ``args`` (the message)
+        # into the int-typed constructor; rebuild from the status instead.
+        return (ChildCrash, (self.wait_status,))
+
+
+class ChildError(RuntimeError):
+    """The isolated callable raised; carries the child's traceback text."""
+
+    def __init__(self, tb: str):
+        super().__init__(tb)
+        self.traceback = tb
+
+    def __reduce__(self):
+        return (ChildError, (self.traceback,))
+
+
+def call_isolated(fn, *args, **kwargs):
+    """Run ``fn(*args, **kwargs)`` in a freshly forked child.
+
+    Returns the callable's (picklable) result.  ``fn`` itself need not be
+    picklable — the child is forked, not spawned, so it sees the caller's
+    module state (including any monkeypatching) as of the call.
+    """
+    rfd, wfd = os.pipe()
+    pid = os.fork()
+    if pid == 0:                                  # the isolated child
+        status = 1
+        try:
+            os.close(rfd)
+            try:
+                payload = pickle.dumps(("ok", fn(*args, **kwargs)))
+            except BaseException:  # noqa: BLE001 - reported to the parent
+                payload = pickle.dumps(("err", traceback.format_exc()))
+            with os.fdopen(wfd, "wb") as fh:
+                fh.write(payload)
+            status = 0
+        finally:
+            os._exit(status)                      # never re-enter the caller
+    os.close(wfd)
+    with os.fdopen(rfd, "rb") as fh:
+        data = fh.read()
+    _, wait_status = os.waitpid(pid, 0)
+    if not data:
+        raise ChildCrash(wait_status)
+    kind, value = pickle.loads(data)
+    if kind == "err":
+        raise ChildError(value)
+    return value

@@ -1,0 +1,86 @@
+"""Routing requests to backend pools by resource shape.
+
+The picker answers one question per dispatch: *which backend pool should
+run this request?*  Routes are declarative predicates over the request's
+resource shape — machine kind, node/GPU count, program version — checked
+in order, first match wins, with a mandatory fallback so every request
+routes somewhere (modeled on i-VRESSE bartender's ``picker.py``, where
+job descriptions choose among eager/arq/slurm scheduler pools).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .job import MACHINES, VERSIONS, JobRequest
+
+__all__ = ["Route", "Picker"]
+
+
+@dataclass(frozen=True)
+class Route:
+    """One routing rule: shape constraints → backend name.
+
+    ``None`` constraints match anything; ``min_count``/``max_count``
+    bound the request's GPU/node count inclusively.
+    """
+
+    backend: str
+    machine: Optional[str] = None
+    version: Optional[str] = None
+    min_count: int = 1
+    max_count: Optional[int] = None
+
+    def __post_init__(self):
+        if self.machine is not None and self.machine not in MACHINES:
+            raise ValueError(f"unknown machine {self.machine!r}")
+        if self.version is not None and self.version not in VERSIONS:
+            raise ValueError(f"unknown version {self.version!r}")
+        if self.min_count < 1:
+            raise ValueError("min_count must be at least 1")
+        if self.max_count is not None and self.max_count < self.min_count:
+            raise ValueError("max_count must be >= min_count")
+
+    def matches(self, request: JobRequest) -> bool:
+        if self.machine is not None and request.machine != self.machine:
+            return False
+        if self.version is not None and request.version != self.version:
+            return False
+        if request.count < self.min_count:
+            return False
+        if self.max_count is not None and request.count > self.max_count:
+            return False
+        return True
+
+
+class Picker:
+    """Ordered routes plus a fallback backend name."""
+
+    def __init__(self, routes: "tuple[Route, ...] | list[Route]" = (),
+                 fallback: str = "eager"):
+        self.routes = tuple(routes)
+        self.fallback = fallback
+
+    def pick(self, request: JobRequest) -> str:
+        for route in self.routes:
+            if route.matches(request):
+                return route.backend
+        return self.fallback
+
+    @classmethod
+    def default(cls, backend_names: "tuple[str, ...]") -> "Picker":
+        """The stock routing for a service's backend set.
+
+        With both an eager and a pool backend, heavyweight shapes —
+        cluster runs and wide (3+ device) nodes — go to the pool, small
+        single-node runs stay in-process; with only one backend,
+        everything routes there.
+        """
+        if "pool" in backend_names and "eager" in backend_names:
+            return cls(routes=(Route("pool", machine="cluster"),
+                               Route("pool", min_count=3)),
+                       fallback="eager")
+        if not backend_names:
+            raise ValueError("no backends to route to")
+        return cls(fallback=backend_names[0])

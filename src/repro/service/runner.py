@@ -1,0 +1,99 @@
+"""The "run request → result payload" seam.
+
+:func:`execute_request` turns one :class:`~repro.service.job.JobRequest`
+into one picklable payload dict, building everything live — machine,
+config, tracer, sanitizer — from the declarative description.  Every
+backend funnels through this function, which is what makes eager and
+pool execution bit-identical: a simulation depends only on its request
+(the fork isolation in the pool is defensive, not semantic — the same
+guarantee the figure sweeps pin in ``tests/bench/test_sweep.py``).
+
+The payload carries the artifact-bundle raw material::
+
+    {"makespan", "metric", "metric_unit",   # headline numbers
+     "metrics",                             # full counter snapshot
+     "trace",                               # Chrome trace JSON text | None
+     "sanitized", "sanitizer",              # findings as plain dicts
+     "stdout"}                              # captured run output
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+
+from ..runtime import trace as trace_mod
+from ..runtime.trace import Tracer
+from .job import JobRequest
+
+__all__ = ["app_module", "build_size", "execute_request"]
+
+
+def app_module(app: str):
+    """The ``repro.apps.<app>`` package (imported lazily: a forked worker
+    pays the import cost only for the app it actually runs)."""
+    import importlib
+    return importlib.import_module(f"repro.apps.{app}")
+
+
+def build_size(app: str, params: "dict | None"):
+    """The app's frozen Size dataclass from keyword params.
+
+    Every app package exports exactly one ``*Size`` class and one
+    ``TEST_*`` default; ``params=None`` returns the test size.
+    """
+    mod = app_module(app)
+    if params is None:
+        name = next(n for n in mod.__all__ if n.startswith("TEST_"))
+        return getattr(mod, name)
+    name = next(n for n in mod.__all__ if n.endswith("Size"))
+    return getattr(mod, name)(**params)
+
+
+def execute_request(request: JobRequest) -> dict:
+    """Execute one job request; returns the picklable result payload.
+
+    Raises whatever the app/runtime raises — surfacing errors is the
+    backend's contract (:mod:`repro.service.backends`)."""
+    from ..bench.harness import fresh_cluster, fresh_multi_gpu
+    machine = (fresh_multi_gpu(request.count)
+               if request.machine == "multi_gpu"
+               else fresh_cluster(request.count))
+    runner = getattr(app_module(request.app), f"run_{request.version}")
+    size = build_size(request.app, request.size)
+    kwargs = dict(request.run_kwargs)
+    if request.version == "ompss":
+        kwargs["config"] = request.resolved_config()
+    else:
+        kwargs["functional"] = False
+
+    tracer = Tracer() if request.collect_trace else None
+    out = io.StringIO()
+    with contextlib.ExitStack() as stack:
+        stack.enter_context(contextlib.redirect_stdout(out))
+        if tracer is not None:
+            stack.enter_context(trace_mod.install(tracer))
+        san = None
+        if request.sanitize:
+            from ..sanitizer import install as install_sanitizer
+            san = stack.enter_context(install_sanitizer())
+        res = runner(machine, size, **kwargs)
+
+    findings = []
+    if san is not None:
+        findings = [
+            {"kind": f.kind, "task": f.task, "obj": f.obj,
+             "detail": f.detail, "where": f.where, "count": f.count,
+             "regions": list(f.regions), "cost": f.cost}
+            for f in san.findings()
+        ]
+    return {
+        "makespan": res.makespan,
+        "metric": res.metric,
+        "metric_unit": res.metric_unit,
+        "metrics": res.metrics or {},
+        "trace": tracer.to_chrome() if tracer is not None else None,
+        "sanitized": request.sanitize,
+        "sanitizer": findings,
+        "stdout": out.getvalue(),
+    }

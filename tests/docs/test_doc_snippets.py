@@ -69,6 +69,12 @@ def test_dagfuzz_snippets_run(i, capsys):
     exec(compile(code, f"DAGFUZZ.md[block {i}]", "exec"), {})
 
 
+@pytest.mark.parametrize("i", range(len(python_blocks("SERVICE.md"))))
+def test_service_snippets_run(i, capsys):
+    code = python_blocks("SERVICE.md")[i]
+    exec(compile(code, f"SERVICE.md[block {i}]", "exec"), {})
+
+
 def test_docs_readme_links_resolve():
     """docs/README.md is the index — every link target must exist."""
     text = (DOCS / "README.md").read_text()

@@ -1,0 +1,180 @@
+"""Service end-to-end: async lifecycle, fairness, artifacts, crashes.
+
+Covers the acceptance scenario for the service tier: a mixed-tenant
+batch of 8+ jobs drains through a 2-worker fork-isolated pool with the
+weighted-fair dispatch order observable in the ``service.*`` counters,
+every finished job stages a full artifact bundle, and a job whose
+process dies mid-run is marked failed (with the crash detail) while the
+queue keeps draining.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.runtime.config import RuntimeConfig
+from repro.service import (JobQueue, JobRequest, JobState, Picker,
+                           PoolBackend, Service)
+from repro.service import backends as backends_mod
+
+needs_fork = pytest.mark.skipif(not hasattr(os, "fork"),
+                                reason="pool backend requires POSIX fork")
+
+PERF = RuntimeConfig(functional=False)
+
+
+def perf_request(**kwargs):
+    kwargs.setdefault("size", {"n": 256, "bs": 64})
+    return JobRequest(app="matmul", config=PERF, **kwargs)
+
+
+def test_submit_poll_wait_round_trip(tmp_path):
+    with Service(staging=tmp_path) as svc:
+        job_id = svc.submit(perf_request())
+        assert svc.state(job_id) is JobState.QUEUED
+        assert job_id in svc
+        result = svc.wait(job_id, timeout=60)
+        assert result.state is JobState.DONE
+        assert result.makespan > 0
+        assert result.backend == "eager"
+        # The staged status mirrors the in-process state.
+        assert svc.status(job_id)["state"] == "done"
+        assert svc.staging.read_status(job_id)["state"] == "done"
+
+
+def test_stream_status_yields_each_transition(tmp_path):
+    with Service(staging=tmp_path) as svc:
+        job_id = svc.submit(perf_request())
+        states = list(svc.stream_status(job_id, timeout=60))
+    assert states[0] is JobState.QUEUED
+    assert states[-1] is JobState.DONE
+    assert [s for s in states if s.terminal] == [states[-1]]
+
+
+def test_artifact_bundle_complete(tmp_path):
+    """A finished sanitized+traced job stages the full bundle."""
+    with Service(staging=tmp_path) as svc:
+        job_id = svc.submit(JobRequest(app="jacobi", sanitize=True))
+        svc.wait(job_id, timeout=120)
+        bundle = svc.fetch_artifacts(job_id)
+    assert set(bundle) == {"request", "status", "result", "metrics",
+                           "trace", "sanitizer", "stdout"}
+    result = json.loads(bundle["result"].read_text())
+    assert result["state"] == "done"
+    assert result["makespan"] > 0
+    metrics = json.loads(bundle["metrics"].read_text())
+    assert any(k.startswith("runtime.") for k in metrics)
+    trace = json.loads(bundle["trace"].read_text())
+    assert trace["traceEvents"]
+    sanitizer = json.loads(bundle["sanitizer"].read_text())
+    assert sanitizer["enabled"] is True
+    assert sanitizer["findings"] == []          # jacobi is clean
+
+
+def test_failed_job_keeps_traceback_and_queue_drains(tmp_path):
+    with Service(staging=tmp_path) as svc:
+        bad = svc.submit(perf_request(run_kwargs={"nonsense": True}))
+        good = svc.submit(perf_request())
+        svc.run_until_idle(timeout=60)
+        assert svc.state(bad) is JobState.FAILED
+        assert svc.state(good) is JobState.DONE
+        assert "TypeError" in svc.result(bad).error
+        assert svc.status(bad)["error"]
+        # Failed bundles still stage result.json (with the error).
+        doc = json.loads(svc.fetch_artifacts(bad)["result"].read_text())
+        assert doc["state"] == "failed"
+        snap = svc.metrics.snapshot()
+        assert snap["service.jobs_failed"] == 1
+        assert snap["service.jobs_completed"] == 1
+
+
+def test_duplicate_and_unknown_job_ids_rejected(tmp_path):
+    with Service(staging=tmp_path) as svc:
+        job_id = svc.submit(perf_request(), job_id="fixed")
+        assert job_id == "fixed"
+        with pytest.raises(ValueError):
+            svc.submit(perf_request(), job_id="fixed")
+        with pytest.raises(KeyError):
+            svc.state("nope")
+        with pytest.raises(RuntimeError):
+            svc.result("fixed")                 # not finished yet
+
+
+@needs_fork
+def test_mixed_tenant_batch_fair_share_on_pool(tmp_path):
+    """The acceptance scenario: 9 jobs / 3 tenants / 3 apps on a
+    2-worker pool; the WFQ dispatch order (alice weight 2) is exact and
+    observable in the ``service.*`` counters."""
+    apps = ("matmul", "cholesky", "jacobi")
+    batch = [JobRequest(app=app, config=PERF, tenant=tenant)
+             for tenant in ("alice", "bob", "carol") for app in apps]
+    assert len(batch) >= 8
+    with Service(backends={"pool": PoolBackend(workers=2)},
+                 picker=Picker(fallback="pool"),
+                 queue=JobQueue(weights={"alice": 2.0}),
+                 staging=tmp_path) as svc:
+        ids = [svc.submit(req) for req in batch]
+        svc.run_until_idle(timeout=300)
+        results = [svc.result(job_id) for job_id in ids]
+        dispatch = svc.dispatch_order()
+        snap = svc.metrics.snapshot()
+    assert all(r.state is JobState.DONE for r in results)
+    assert all(r.backend == "pool" for r in results)
+    # Exact WFQ order: alice (weight 2) takes two turns per bob/carol one.
+    tenants = [jid.split("-")[2] for jid in dispatch]
+    assert tenants == ["alice", "bob", "carol", "alice", "alice",
+                       "bob", "carol", "bob", "carol"]
+    # Fair share is observable in the counters.
+    for tenant in ("alice", "bob", "carol"):
+        assert snap[f"service.tenant.{tenant}.queued"] == 3
+        assert snap[f"service.tenant.{tenant}.dispatched"] == 3
+    assert snap["service.jobs_submitted"] == 9
+    assert snap["service.jobs_dispatched"] == 9
+    assert snap["service.jobs_completed"] == 9
+    assert snap["service.backend.pool.completed"] == 9
+    assert snap["service.queue.depth"] == 0
+    assert snap["service.active"] == 0
+
+
+@needs_fork
+def test_worker_death_fails_job_and_queue_keeps_draining(tmp_path,
+                                                         monkeypatch):
+    """A job process dying mid-run (os._exit stand-in for a segfault)
+    surfaces as a failed job naming the wait status; the remaining jobs
+    still complete."""
+    real = backends_mod.execute_request
+
+    def fake(request):
+        if request.tenant == "doomed":
+            os._exit(43)
+        return real(request)
+
+    monkeypatch.setattr(backends_mod, "execute_request", fake)
+    with Service(backends={"pool": PoolBackend(workers=2)},
+                 picker=Picker(fallback="pool"),
+                 staging=tmp_path) as svc:
+        crash = svc.submit(perf_request(tenant="doomed"))
+        good = [svc.submit(perf_request()) for _ in range(3)]
+        svc.run_until_idle(timeout=120)
+        assert svc.state(crash) is JobState.FAILED
+        assert "died" in svc.result(crash).error
+        assert all(svc.state(j) is JobState.DONE for j in good)
+        snap = svc.metrics.snapshot()
+        assert snap["service.jobs_failed"] == 1
+        assert snap["service.jobs_completed"] == 3
+
+
+def test_head_of_line_dispatch_respects_queue_order(tmp_path):
+    """Dispatch is head-of-line: while the single eager slot is busy,
+    nothing bypasses the queue's chosen next job."""
+    with Service(staging=tmp_path) as svc:
+        first = svc.submit(perf_request(tenant="alice"))
+        second = svc.submit(perf_request(tenant="bob", priority=1))
+        third = svc.submit(perf_request(tenant="alice"))
+        svc.run_until_idle(timeout=60)
+        order = svc.dispatch_order()
+    # The priority-1 job overtakes the queued alice job but not the
+    # already-submitted order of the head element at each pump.
+    assert order.index(second) < order.index(third)
+    assert set(order) == {first, second, third}

@@ -1,0 +1,57 @@
+"""The determinism pin: eager and pool backends are bit-identical.
+
+A simulation depends only on its :class:`JobRequest` (machines, tracer
+and sanitizer are built fresh per run; the pool's fork isolation is
+defensive, not semantic), so the same request must produce the same
+makespan, metric and mechanism counters whichever backend runs it.
+Only ``engine.*`` gauges — wall-clock observations of this host — may
+differ, exactly as ``tests/bench/test_sweep.py`` pins for figure sweeps.
+"""
+
+import os
+
+import pytest
+
+from repro.runtime.config import RuntimeConfig
+from repro.service import JobRequest, Picker, PoolBackend, Service
+
+pytestmark = pytest.mark.skipif(not hasattr(os, "fork"),
+                                reason="pool backend requires POSIX fork")
+
+#: Canonical requests spanning perf-mode multi-GPU, a cluster shape and
+#: a functional sanitized run — the service analogue of a figure grid.
+REQUESTS = [
+    JobRequest(app="matmul", size={"n": 256, "bs": 64}, count=2,
+               config=RuntimeConfig(functional=False,
+                                    scheduler="affinity")),
+    JobRequest(app="stream", machine="cluster", count=2,
+               config=RuntimeConfig(functional=False)),
+    JobRequest(app="jacobi", sanitize=True),
+]
+
+
+def _simulated(metrics: dict) -> dict:
+    """Counter snapshot minus the wall-clock ``engine.*`` gauges."""
+    return {k: v for k, v in metrics.items()
+            if not k.startswith("engine.")}
+
+
+def run_all(svc: Service):
+    ids = [svc.submit(req) for req in REQUESTS]
+    svc.run_until_idle(timeout=300)
+    return [svc.result(job_id) for job_id in ids]
+
+
+def test_eager_and_pool_results_bit_identical(tmp_path):
+    with Service(staging=tmp_path / "eager") as svc:
+        eager = run_all(svc)
+    with Service(backends={"pool": PoolBackend(workers=2)},
+                 picker=Picker(fallback="pool"),
+                 staging=tmp_path / "pool") as svc:
+        pooled = run_all(svc)
+    for e, p in zip(eager, pooled):
+        assert e.state is p.state
+        assert e.makespan == p.makespan          # bit-identical float
+        assert e.metric == p.metric
+        assert e.findings == p.findings
+        assert _simulated(e.metrics) == _simulated(p.metrics)

@@ -1,0 +1,52 @@
+"""Picker: declarative shape-based routing, first match wins."""
+
+import pytest
+
+from repro.service import JobRequest, Picker, Route
+
+
+def test_routes_checked_in_order_first_match_wins():
+    picker = Picker(routes=(Route("slurm", machine="cluster"),
+                            Route("pool", min_count=2)),
+                    fallback="eager")
+    assert picker.pick(JobRequest(app="matmul", machine="cluster",
+                                  count=8)) == "slurm"
+    assert picker.pick(JobRequest(app="matmul", count=2)) == "pool"
+    assert picker.pick(JobRequest(app="matmul", count=1)) == "eager"
+
+
+def test_version_and_count_bounds():
+    route = Route("pool", version="mpi_cuda", min_count=2, max_count=4)
+    assert route.matches(JobRequest(app="matmul", version="mpi_cuda",
+                                    count=3))
+    assert not route.matches(JobRequest(app="matmul", count=3))   # ompss
+    assert not route.matches(JobRequest(app="matmul", version="mpi_cuda",
+                                        count=1))
+    assert not route.matches(JobRequest(app="matmul", version="mpi_cuda",
+                                        count=5))
+
+
+def test_default_picker_splits_heavy_shapes_to_pool():
+    picker = Picker.default(("eager", "pool"))
+    assert picker.pick(JobRequest(app="matmul", machine="cluster",
+                                  count=2)) == "pool"
+    assert picker.pick(JobRequest(app="matmul", count=4)) == "pool"
+    assert picker.pick(JobRequest(app="matmul", count=1)) == "eager"
+
+
+def test_default_picker_single_backend_routes_everything_there():
+    picker = Picker.default(("pool",))
+    assert picker.pick(JobRequest(app="matmul", count=1)) == "pool"
+    with pytest.raises(ValueError):
+        Picker.default(())
+
+
+def test_invalid_routes_rejected():
+    with pytest.raises(ValueError):
+        Route("pool", machine="laptop")
+    with pytest.raises(ValueError):
+        Route("pool", version="fortran")
+    with pytest.raises(ValueError):
+        Route("pool", min_count=0)
+    with pytest.raises(ValueError):
+        Route("pool", min_count=3, max_count=2)
